@@ -1,0 +1,11 @@
+// Command calibrate is the closed-loop tool that produced the calibrated
+// Reduce-phase work levels in internal/apps/model.go: it measures each
+// benchmark's utilization group means on the non-VFI baseline and adjusts
+// the levels until they hit the Table 2 band targets, then prints the
+// converged constants. Run it after changing platform or network models to
+// re-derive the application calibration.
+package main
+
+func main() {
+	tune()
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+
+	"wivfi/internal/apps"
+	"wivfi/internal/sim"
+	"wivfi/internal/stats"
+)
+
+// tune iteratively adjusts each app's reduce levels until the measured
+// NVFI-mesh utilization group means hit the Table 2 band targets, then
+// prints the converged constants for pasting into model.go.
+func tune() {
+	targets := map[string][4]float64{
+		"mm":     {0.490, 0.525, 0.575, 0.630},
+		"hist":   {0.490, 0.520, 0.580, 0.630},
+		"pca":    {0.465, 0.480, 0.500, 0.520},
+		"lr":     {0.490, 0.530, 0.580, 0.630},
+		"wc":     {0.400, 0.420, 0.580, 0.700},
+		"kmeans": {0.080, 0.100, 0.390, 0.430},
+	}
+	masterFactor := map[string]float64{
+		// master reduce level as a multiple of its own target position
+		"mm": 0, "hist": 0, "pca": 0, "lr": 0, "wc": 0, "kmeans": 0,
+	}
+	_ = masterFactor
+	cfg := sim.DefaultBuildConfig()
+	base, _ := sim.NVFIMesh(cfg)
+	for _, app := range apps.All() {
+		target := targets[app.Name]
+		levels, master := app.ReduceLevels()
+		for it := 0; it < 8; it++ {
+			o := apps.Overrides{ReduceGroupSec: &levels, ReduceMasterSec: &master}
+			w, err := app.WorkloadWithOverrides(64, o)
+			if err != nil {
+				panic(err)
+			}
+			res, err := sim.Run(w, base)
+			if err != nil {
+				panic(err)
+			}
+			prof := res.Profile()
+			T := res.Report.ExecSeconds
+			var meas [4]float64
+			for g := 0; g < 4; g++ {
+				vals := append([]float64(nil), prof.Util[g*16:(g+1)*16]...)
+				if g == 0 {
+					vals = vals[1:] // exclude master from its group mean
+				}
+				meas[g] = stats.Mean(vals)
+			}
+			done := true
+			for g := 0; g < 4; g++ {
+				delta := (target[g] - meas[g]) * T
+				if levels[g]+delta > 0 {
+					levels[g] += delta
+				}
+				if delta > 0.005 || delta < -0.005 {
+					done = false
+				}
+			}
+			// keep the master's relative position: scale with its group's
+			// level change only when explicitly overridden (master != 0)
+			if done || it == 7 {
+				fmt.Printf("%-7s levels=[4]float64{%.4f, %.4f, %.4f, %.4f} master=%.4f meas=[%.3f %.3f %.3f %.3f] T=%.3f masterUtil=%.3f\n",
+					app.Name, levels[0], levels[1], levels[2], levels[3], master,
+					meas[0], meas[1], meas[2], meas[3], T, prof.Util[0])
+				break
+			}
+		}
+	}
+}

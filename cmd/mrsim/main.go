@@ -1,0 +1,94 @@
+// Command mrsim runs one benchmark end-to-end on a chosen system
+// configuration and prints its phase timeline, energy and EDP.
+//
+// Usage:
+//
+//	mrsim -app wc -system vfi-winoc [-strategy max-wireless] [-vfi1]
+//	mrsim -app kmeans -real -scale 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wivfi/internal/apps"
+	"wivfi/internal/expt"
+	"wivfi/internal/sim"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "wc", "benchmark: "+fmt.Sprint(apps.Names()))
+		system   = flag.String("system", "vfi-winoc", "system: nvfi-mesh | vfi-mesh | vfi-winoc")
+		strategy = flag.String("strategy", "best", "WiNoC placement: min-hop | max-wireless | best")
+		useVFI1  = flag.Bool("vfi1", false, "use the VFI 1 configuration (before re-assignment)")
+		real     = flag.Bool("real", false, "run the real MapReduce implementation instead of the simulator")
+		scale    = flag.Float64("scale", 0.05, "input scale for -real (1.0 = paper-shaped datasets)")
+		workers  = flag.Int("workers", 8, "worker goroutines for -real")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	if *real {
+		res, err := app.RunReal(*scale, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Summary)
+		fmt.Printf("phases: split=%v map=%v reduce=%v merge=%v; %d tasks, %d steals\n",
+			res.Stats.SplitTime, res.Stats.MapTime, res.Stats.ReduceTime, res.Stats.MergeTime,
+			res.Stats.Tasks, res.Stats.Steals)
+		return
+	}
+
+	suite := expt.NewSuite(expt.DefaultConfig())
+	pl, err := suite.Pipeline(app.Name)
+	if err != nil {
+		fatal(err)
+	}
+	var run *sim.RunResult
+	switch *system {
+	case "nvfi-mesh":
+		run = pl.Baseline
+	case "vfi-mesh":
+		if *useVFI1 {
+			run = pl.VFI1Mesh
+		} else {
+			run = pl.VFI2Mesh
+		}
+	case "vfi-winoc":
+		switch *strategy {
+		case "min-hop":
+			run = pl.WiNoC[sim.MinHop]
+		case "max-wireless":
+			run = pl.WiNoC[sim.MaxWireless]
+		case "best":
+			run = pl.BestWiNoC()
+		default:
+			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	fmt.Printf("%s on %s\n", app.Name, run.System)
+	fmt.Printf("  %-8s %-5s %10s %12s %12s %10s\n", "phase", "iter", "seconds", "net-lat(cyc)", "net-energy(J)", "steals")
+	for _, ph := range run.Phases {
+		fmt.Printf("  %-8v %-5d %10.4f %12.1f %12.4f %10d\n",
+			ph.Kind, ph.Iteration, ph.Seconds, ph.NetLatencyCycles, ph.NetJ, ph.Steals)
+	}
+	r := run.Report
+	fmt.Printf("total: %.4f s, %.2f J (core dyn %.2f + leak %.2f + net %.2f), EDP %.3f J.s\n",
+		r.ExecSeconds, r.TotalJ(), r.CoreDynamicJ, r.CoreLeakageJ, r.NetworkJ, r.EDP())
+	e, en, edp := run.Report.Relative(pl.Baseline.Report)
+	fmt.Printf("vs NVFI mesh: exec %.3fx, energy %.3fx, EDP %.3fx\n", e, en, edp)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mrsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command reproduce regenerates the tables and figures of "Energy Efficient
+// MapReduce with VFI-enabled Multicore Platforms" (DAC 2015) on the
+// simulated platform. With no flags it regenerates everything.
+//
+// Usage:
+//
+//	reproduce [-table1] [-table2] [-fig2] [-fig4] [-fig5] [-fig6]
+//	          [-fig7] [-fig8] [-kintra] [-stealing] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wivfi/internal/expt"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "Table 1: benchmarks and datasets")
+		table2   = flag.Bool("table2", false, "Table 2: V/F assignments")
+		fig2     = flag.Bool("fig2", false, "Fig. 2: core utilization distributions")
+		fig4     = flag.Bool("fig4", false, "Fig. 4: VFI 1 vs VFI 2")
+		fig5     = flag.Bool("fig5", false, "Fig. 5: bottleneck utilization")
+		fig6     = flag.Bool("fig6", false, "Fig. 6: placement strategies")
+		fig7     = flag.Bool("fig7", false, "Fig. 7: execution-time breakdown")
+		fig8     = flag.Bool("fig8", false, "Fig. 8: full-system EDP")
+		kintra   = flag.Bool("kintra", false, "Section 7.2: (k_intra,k_inter) sweep")
+		stealing = flag.Bool("stealing", false, "Section 4.3: task-stealing case study")
+		summary  = flag.Bool("summary", false, "headline numbers (abstract)")
+		phased   = flag.Bool("phased", false, "extension: phase-adaptive DVFS controllers")
+		wifail   = flag.Bool("wifail", false, "extension: wireless-interface failure robustness")
+		margins  = flag.Bool("margins", false, "sensitivity: V/F-selection margin sweep")
+	)
+	flag.Parse()
+	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
+		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
+
+	suite := expt.NewSuite(expt.DefaultConfig())
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+
+	if all || *table1 {
+		fmt.Print(expt.FormatTable1(expt.Table1()))
+		fmt.Println()
+	}
+	if all || *table2 {
+		rows, err := suite.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatTable2(rows))
+		fmt.Println()
+	}
+	if all || *fig2 {
+		rows, err := suite.Fig2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig2(rows))
+		fmt.Println()
+	}
+	if all || *fig4 {
+		rows, err := suite.Fig4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig4(rows))
+		fmt.Println()
+	}
+	if all || *fig5 {
+		rows, err := suite.Fig5()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig5(rows))
+		fmt.Println()
+	}
+	if all || *fig6 {
+		rows, err := suite.Fig6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig6(rows))
+		fmt.Println()
+	}
+	if all || *fig7 {
+		rows, err := suite.Fig7()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig7(rows))
+		fmt.Println()
+	}
+	if all || *fig8 {
+		rows, err := suite.Fig8()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatFig8(rows))
+		fmt.Println()
+	}
+	if all || *kintra {
+		fmt.Print(expt.MinKIntraNote())
+		rows, err := suite.KIntraSweep()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatKIntra(rows))
+		fmt.Println()
+	}
+	if all || *stealing {
+		st, err := expt.RunStealingStudy()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatStealing(st))
+		fmt.Println()
+	}
+	if all || *phased {
+		rows, err := suite.PhaseAdaptiveStudy()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatPhased(rows))
+		fmt.Println()
+	}
+	if all || *wifail {
+		rows, err := suite.WIFailureStudy("wc", []int{0, 3, 6, 12})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatWIFailure(rows))
+		fmt.Println()
+	}
+	if all || *margins {
+		rows, err := suite.MarginSweep("kmeans", []float64{0.15, 0.25, 0.35, 0.45, 0.65})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatMargin(rows))
+		fmt.Println()
+	}
+	if all || *summary {
+		rows, err := suite.Fig8()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(expt.FormatSummary(expt.Summarize(rows)))
+	}
+}

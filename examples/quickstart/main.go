@@ -1,0 +1,44 @@
+// Quickstart: count words with the Phoenix++-style MapReduce engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"wivfi/internal/mapreduce"
+)
+
+func main() {
+	lines := []string{
+		"the map phase turns records into key value pairs",
+		"the reduce phase combines the values of every key",
+		"the merge phase sorts the combined output",
+	}
+
+	job := mapreduce.Job[string, string, int]{
+		Name: "quickstart-wordcount",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: 4,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+
+	res, stats, err := mapreduce.Run(job, lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d unique words from %d records on %d workers (%d tasks, %d steals):\n",
+		stats.UniqueKeys, stats.RecordsMaped, stats.Workers, stats.Tasks, stats.Steals)
+	for _, p := range res.Pairs {
+		if p.Value > 1 {
+			fmt.Printf("  %-8s x%d\n", p.Key, p.Value)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// wordcount_vfi walks the paper's complete design flow for Word Count:
+// profile the workload on the non-VFI baseline, design the VFI partition
+// (clustering, V/F assignment, bottleneck re-assignment), then simulate the
+// three systems of the evaluation — NVFI mesh, VFI mesh and VFI WiNoC —
+// and compare execution time, energy and EDP.
+//
+//	go run ./examples/wordcount_vfi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wivfi/internal/apps"
+	"wivfi/internal/sim"
+	"wivfi/internal/vfi"
+)
+
+func main() {
+	app, err := apps.ByName("wc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultBuildConfig()
+	w, err := app.Workload(cfg.Chip.NumCores())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: characterize on a plain non-VFI mesh.
+	probe, err := sim.NVFIMesh(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probeRes, err := sim.Run(w, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := probeRes.Profile()
+	fmt.Printf("profiled %s: %d threads, total traffic %.2e flits/us\n",
+		app.Name, prof.NumCores(), prof.TotalTraffic())
+
+	// Steps 2-4: the Fig. 3 design flow.
+	plan, err := vfi.Design(prof, vfi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("islands (VFI 2):")
+	for j, cores := range plan.VFI2.Islands() {
+		fmt.Printf("  island %d at %v: %d threads\n", j, plan.VFI2.Points[j], len(cores))
+	}
+
+	// Simulate the three systems.
+	baseline, err := sim.NVFIMeshMapped(cfg, prof.Traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vfiMesh, err := sim.VFIMesh(cfg, plan.VFI2, prof.Traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	winoc, err := sim.VFIWiNoC(cfg, plan.VFI2, prof.Traffic, sim.MaxWireless)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseRes, err := sim.Run(w, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %10s %10s %10s\n", "system", "exec", "energy", "EDP")
+	fmt.Printf("%-12s %9.3fs %9.1fJ %9.1fJs\n", "nvfi-mesh",
+		baseRes.Report.ExecSeconds, baseRes.Report.TotalJ(), baseRes.Report.EDP())
+	for _, s := range []*sim.System{vfiMesh, winoc} {
+		res, err := sim.Run(w, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, en, edp := res.Report.Relative(baseRes.Report)
+		fmt.Printf("%-12s %9.3fx %9.3fx %9.3fx\n", s.Name, e, en, edp)
+	}
+}

@@ -1,0 +1,3 @@
+module wivfi
+
+go 1.22

@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"wivfi/internal/sim"
+)
+
+// App bundles one benchmark's identity, its Table 1 dataset description,
+// its calibrated workload model and its real implementation.
+type App struct {
+	// Name is the short benchmark name used throughout the paper.
+	Name string
+	// Table1Dataset is the input description from Table 1.
+	Table1Dataset string
+	// Iterations is the number of MapReduce iterations (Section 7).
+	Iterations int
+	// params are the calibrated model parameters.
+	params modelParams
+	// runReal executes the real implementation at the given input scale
+	// (1.0 approximates the paper's dataset shape, smaller is faster)
+	// with the given worker count.
+	runReal func(scale float64, workers int) (RealResult, error)
+}
+
+// Workload expands the calibrated model for a platform with the given
+// thread count (64 for the paper's system).
+func (a *App) Workload(threads int) (*sim.Workload, error) {
+	return buildWorkload(a.params, threads)
+}
+
+// RunReal executes the benchmark for real on the MapReduce engine.
+func (a *App) RunReal(scale float64, workers int) (RealResult, error) {
+	return a.runReal(scale, workers)
+}
+
+// All returns the six benchmarks in the paper's Table 1 order.
+func All() []*App {
+	return []*App{
+		{
+			Name:          "mm",
+			Table1Dataset: "Matrix with dimension 999 x 999",
+			Iterations:    1,
+			params:        matrixMultiplyParams(),
+			runReal:       runMatrixMultiply,
+		},
+		{
+			Name:          "kmeans",
+			Table1Dataset: "Vectors with dimension of 512",
+			Iterations:    2,
+			params:        kmeansParams(),
+			runReal:       runKmeans,
+		},
+		{
+			Name:          "pca",
+			Table1Dataset: "Matrix with dimension 960 x 960",
+			Iterations:    2,
+			params:        pcaParams(),
+			runReal:       runPCA,
+		},
+		{
+			Name:          "hist",
+			Table1Dataset: "Medium (399 MB)",
+			Iterations:    1,
+			params:        histogramParams(),
+			runReal:       runHistogram,
+		},
+		{
+			Name:          "wc",
+			Table1Dataset: "Large (100 MB)",
+			Iterations:    1,
+			params:        wordCountParams(),
+			runReal:       runWordCount,
+		},
+		{
+			Name:          "lr",
+			Table1Dataset: "Medium (100 MB)",
+			Iterations:    1,
+			params:        linearRegressionParams(),
+			runReal:       runLinearRegression,
+		},
+	}
+}
+
+// Names returns the sorted benchmark names.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName looks a benchmark up by its short name.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown benchmark %q (have %v)", name, Names())
+}

@@ -1,0 +1,295 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wivfi/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("%d apps, want 6", len(all))
+	}
+	want := map[string]int{"mm": 1, "kmeans": 2, "pca": 2, "hist": 1, "wc": 1, "lr": 1}
+	for _, a := range all {
+		iters, ok := want[a.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", a.Name)
+			continue
+		}
+		if a.Iterations != iters {
+			t.Errorf("%s iterations = %d, want %d", a.Name, a.Iterations, iters)
+		}
+		if a.Table1Dataset == "" {
+			t.Errorf("%s missing Table 1 dataset", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("wc")
+	if err != nil || a.Name != "wc" {
+		t.Fatalf("ByName(wc) = %v, %v", a, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	names := Names()
+	if len(names) != 6 || names[0] != "hist" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestWorkloadsValidateAndStructure(t *testing.T) {
+	for _, a := range All() {
+		w, err := a.Workload(64)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		// phase structure: libinit -> map -> reduce [-> merge...] per iter
+		kinds := map[sim.PhaseKind]int{}
+		for _, ph := range w.Phases {
+			kinds[ph.Kind]++
+		}
+		if kinds[sim.LibInit] != a.Iterations || kinds[sim.Map] != a.Iterations || kinds[sim.Reduce] != a.Iterations {
+			t.Errorf("%s phase counts %v for %d iterations", a.Name, kinds, a.Iterations)
+		}
+		if a.Name == "lr" && kinds[sim.Merge] != 0 {
+			t.Error("lr should have no merge phase (Section 4.2)")
+		}
+		if a.Name != "lr" && kinds[sim.Merge] == 0 {
+			t.Errorf("%s missing merge phases", a.Name)
+		}
+	}
+}
+
+func TestWorkloadRejectsBadThreadCount(t *testing.T) {
+	a, _ := ByName("mm")
+	if _, err := a.Workload(63); err == nil {
+		t.Error("63 threads accepted")
+	}
+}
+
+func TestOverridesApplied(t *testing.T) {
+	a, _ := ByName("mm")
+	levels := [4]float64{0.1, 0.2, 0.3, 0.4}
+	master := 0.5
+	w, err := a.WorkloadWithOverrides(64, Overrides{ReduceGroupSec: &levels, ReduceMasterSec: &master})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// find the reduce phase and check the per-group cycles reflect levels
+	for _, ph := range w.Phases {
+		if ph.Kind != sim.Reduce {
+			continue
+		}
+		// thread 17 is in group 1: cycles ~ 0.2 s * 2.5 GHz with jitter
+		got := ph.WorkCycles[17] / (2.5e9)
+		if got < 0.2*0.95 || got > 0.2*1.05 {
+			t.Errorf("group-1 reduce = %v s, want ~0.2", got)
+		}
+		gotM := ph.WorkCycles[0] / 2.5e9
+		if math.Abs(gotM-0.5*jitter(0, a.params.reduceJitterAmp)) > 1e-9 {
+			t.Errorf("master reduce = %v s, want ~0.5", gotM)
+		}
+	}
+	// ReduceLevels exposes the calibrated values
+	lv, m := a.ReduceLevels()
+	if lv[0] <= 0 || m <= 0 {
+		t.Error("ReduceLevels returned zeros")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	for th := 0; th < 64; th++ {
+		j := jitter(th, 0.1)
+		if j < 0.9-1e-12 || j > 1.1+1e-12 {
+			t.Fatalf("jitter(%d) = %v", th, j)
+		}
+	}
+	if jitter(3, 0) != 1 {
+		t.Error("zero-amplitude jitter must be 1")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	if groupOf(0) != 0 || groupOf(15) != 0 || groupOf(16) != 1 || groupOf(63) != 3 {
+		t.Error("groupOf boundaries wrong")
+	}
+}
+
+// ---- real implementations ----
+
+func TestRealWordCount(t *testing.T) {
+	a, _ := ByName("wc")
+	res, err := a.RunReal(0.02, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueKeys < 100 {
+		t.Errorf("only %d unique words", res.UniqueKeys)
+	}
+	// total words = lines * 16 words per line
+	if res.Check != float64(400*16) {
+		t.Errorf("total words %v, want %v", res.Check, 400*16)
+	}
+	if !strings.Contains(res.Summary, "wordcount") {
+		t.Errorf("summary %q", res.Summary)
+	}
+}
+
+func TestRealHistogram(t *testing.T) {
+	a, _ := ByName("hist")
+	res, err := a.RunReal(0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 channels per pixel
+	if res.Check != float64(4000*3) {
+		t.Errorf("samples %v, want %v", res.Check, 4000*3)
+	}
+	if res.UniqueKeys > 768 {
+		t.Errorf("%d buckets exceeds 3*256", res.UniqueKeys)
+	}
+}
+
+func TestRealLinearRegression(t *testing.T) {
+	a, _ := ByName("lr")
+	res, err := a.RunReal(0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Check-2.5) > 0.05 {
+		t.Errorf("slope %v, want ~2.5", res.Check)
+	}
+}
+
+func TestRealMatrixMultiply(t *testing.T) {
+	a, _ := ByName("mm")
+	res, err := a.RunReal(0.0005, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// verify against a direct small multiply: the checksum must be finite
+	// and reproducible
+	res2, err := a.RunReal(0.0005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Check-res2.Check) > 1e-6*math.Abs(res.Check) {
+		t.Errorf("checksum differs across worker counts: %v vs %v", res.Check, res2.Check)
+	}
+	if math.IsNaN(res.Check) || res.Check == 0 {
+		t.Errorf("degenerate checksum %v", res.Check)
+	}
+}
+
+func TestRealKmeans(t *testing.T) {
+	a, _ := ByName("kmeans")
+	res, err := a.RunReal(0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueKeys != 8 {
+		t.Errorf("%d clusters, want 8", res.UniqueKeys)
+	}
+	// Check sums |delta| over 8 centres x 32 dims in the second Lloyd
+	// iteration; with unit-variance cluster noise the per-coordinate move
+	// should stay well below 2.
+	if res.Check < 0 || res.Check/(8*32) > 2 {
+		t.Errorf("implausible centre movement %v (%.3f per coordinate)", res.Check, res.Check/(8*32))
+	}
+}
+
+func TestRealPCA(t *testing.T) {
+	a, _ := ByName("pca")
+	res, err := a.RunReal(0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// covariance trace of uniform [-1,1) entries: each diagonal ~1/3,
+	// 8 tracked columns -> ~2.7
+	if res.Check < 1.5 || res.Check > 4.0 {
+		t.Errorf("covariance trace %v outside plausible band", res.Check)
+	}
+}
+
+func TestRealRunsDeterministic(t *testing.T) {
+	a, _ := ByName("lr")
+	r1, err := a.RunReal(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.RunReal(0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Check-r2.Check) > 1e-9 {
+		t.Errorf("results differ across worker counts: %v vs %v", r1.Check, r2.Check)
+	}
+}
+
+// TestModelTrafficSymmetryBasics: every phase traffic matrix is square,
+// non-negative, and free of self-traffic.
+func TestModelTrafficBasics(t *testing.T) {
+	for _, a := range All() {
+		w, err := a.Workload(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, ph := range w.Phases {
+			if ph.Traffic == nil {
+				t.Fatalf("%s phase %d has no traffic", a.Name, pi)
+			}
+			for i := range ph.Traffic {
+				if ph.Traffic[i][i] != 0 {
+					t.Fatalf("%s phase %d self-traffic at %d", a.Name, pi, i)
+				}
+				for j, v := range ph.Traffic[i] {
+					if v < 0 || math.IsNaN(v) {
+						t.Fatalf("%s phase %d traffic (%d,%d) = %v", a.Name, pi, i, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKmeansLateIterationShape: iteration 2 maps on threads 32-63 only and
+// with a reduced task pool.
+func TestKmeansLateIterationShape(t *testing.T) {
+	a, _ := ByName("kmeans")
+	w, err := a.Workload(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mapPhases []sim.Phase
+	for _, ph := range w.Phases {
+		if ph.Kind == sim.Map {
+			mapPhases = append(mapPhases, ph)
+		}
+	}
+	if len(mapPhases) != 2 {
+		t.Fatalf("%d map phases", len(mapPhases))
+	}
+	if mapPhases[0].ActiveThreads != nil && len(mapPhases[0].ActiveThreads) != 64 {
+		t.Error("iteration 1 should use all threads")
+	}
+	if len(mapPhases[1].ActiveThreads) != 32 {
+		t.Errorf("iteration 2 active threads = %d, want 32", len(mapPhases[1].ActiveThreads))
+	}
+	for _, th := range mapPhases[1].ActiveThreads {
+		if th < 32 {
+			t.Fatalf("iteration 2 includes converged thread %d", th)
+		}
+	}
+	if mapPhases[1].Tasks >= mapPhases[0].Tasks {
+		t.Error("iteration 2 task pool should shrink")
+	}
+}

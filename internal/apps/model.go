@@ -1,0 +1,495 @@
+// Package apps provides the six Phoenix++ benchmarks of the paper
+// (Histogram, Kmeans, Linear Regression, Matrix Multiplication, PCA, Word
+// Count) in two coupled forms:
+//
+//   - a real implementation on the internal/mapreduce engine, runnable on
+//     synthetic datasets shaped like Table 1's inputs (real.go);
+//   - a calibrated workload model for the platform simulator (this file):
+//     phase structure, per-thread work, memory intensity and traffic
+//     patterns that reproduce the per-application characteristics the paper
+//     reports — utilization profiles (Fig. 2, Fig. 5), V/F assignments
+//     (Table 2), iteration counts, and the network sensitivities behind
+//     Figs. 6-8.
+//
+// Calibration conventions: 64 threads; thread 0 is the Phoenix master;
+// threads are organized in four 16-thread utilization groups (group k =
+// threads 16k..16k+15) whose Reduce-phase work levels set the utilization
+// bands that drive Table 2's V/F ladder. Compute is expressed in seconds at
+// the 2.5 GHz DVFS maximum and converted to cycles.
+package apps
+
+import (
+	"fmt"
+
+	"wivfi/internal/sim"
+)
+
+// fmaxGHz is the DVFS table maximum used to express model work in seconds.
+const fmaxGHz = 2.5
+
+// secToCycles converts model seconds-at-fmax to clock cycles.
+func secToCycles(s float64) float64 { return s * fmaxGHz * 1e9 }
+
+// flitsPerMemOp is the network cost of one memory operation: a 2-flit
+// request plus an 18-flit reply (a 64-byte cache line over 32-bit flits
+// plus headers) for the shared-L2 round trip.
+const flitsPerMemOp = 20
+
+// defaultMemLocalFrac is the fraction of a thread's L2 traffic served by
+// its own island's slices; the VFI clustering and thread mapping exist
+// precisely to keep this high (Section 4.1). Apps with partitioned data
+// (Kmeans after convergence) override it upward.
+const defaultMemLocalFrac = 0.6
+
+// groupOf returns the utilization group of a thread.
+func groupOf(thread int) int { return thread / 16 }
+
+// jitter returns a small deterministic per-thread factor in
+// [1-amp, 1+amp], decorrelated from group boundaries so every thread's
+// utilization is distinct (clean quartiles for the clustering).
+func jitter(thread int, amp float64) float64 {
+	h := (thread*37 + 11) % 16
+	return 1 + amp*(float64(h)/15*2-1)
+}
+
+// mergeStage describes one Merge sub-stage: active threads [0, Threads)
+// each do WorkSec of compute and ship their partials to their partner.
+type mergeStage struct {
+	Threads int
+	WorkSec float64
+	MemOps  float64
+}
+
+// modelParams is the calibrated description of one benchmark.
+type modelParams struct {
+	name       string
+	iterations int
+
+	// Library initialization (per iteration): master-only compute plus a
+	// broadcast to all threads.
+	libInitSec    float64
+	libInitMemOps float64
+
+	// Map (per iteration): a task pool over the active threads.
+	mapTasks      int
+	mapTaskSec    float64 // base compute per task (at fmax)
+	mapTaskSpread float64
+	mapTaskMemOps float64
+	// mapActiveLate restricts the active thread set from the second
+	// iteration on (Kmeans convergence); nil keeps all threads.
+	mapActiveLate []int
+	// mapTasksLate shrinks the task pool from the second iteration on
+	// (converged data groups need less work); 0 keeps mapTasks.
+	mapTasksLate int
+	// mapTaskSecLate overrides per-task compute from the second iteration
+	// on; 0 keeps mapTaskSec.
+	mapTaskSecLate float64
+	// mapTaskMemOpsLate overrides per-task memory ops from the second
+	// iteration on; 0 keeps mapTaskMemOps.
+	mapTaskMemOpsLate float64
+
+	// Reduce (per iteration): barrier phase. Per-group compute levels (at
+	// fmax) with the master overridden separately.
+	reduceGroupSec  [4]float64
+	reduceMasterSec float64
+	reduceMemOps    float64 // memory ops per active thread
+	reduceJitterAmp float64
+	// reduceActiveLate, when set, restricts reduce work from iteration 2
+	// on to the listed threads (others contribute zero).
+	reduceActiveLate []int
+
+	// Merge (per iteration): zero or more converging stages.
+	mergeStages []mergeStage
+
+	// Master traffic coupling: the master exchanges this many extra flits
+	// (total) with the threads of masterPartnerGroup during the run; this
+	// is what drags the bottleneck master into a low-V/F island for the
+	// nearly-homogeneous applications (Section 4.2).
+	masterPartnerGroup int // -1 disables
+	masterPartnerFlits float64
+
+	// Reduce traffic shape: "keyexchange" (all-to-all, WC/Kmeans-style) or
+	// "neighbor" (LR's nearer-core pattern).
+	neighborReduce bool
+	neighborRadius int
+
+	// memLocalFrac overrides defaultMemLocalFrac when non-zero.
+	memLocalFrac float64
+}
+
+// buildWorkload expands the calibrated parameters into the simulator's
+// phase list for a given thread count (must be 64 for the paper platform;
+// kept parametric for tests).
+func buildWorkload(p modelParams, threads int) (*sim.Workload, error) {
+	if threads%4 != 0 {
+		return nil, fmt.Errorf("apps: %d threads not divisible into 4 groups", threads)
+	}
+	groupSize := threads / 4
+	group := func(th int) int { return th / groupSize }
+	all := sim.AllThreads(threads)
+	w := &sim.Workload{Name: p.name, Threads: threads}
+
+	for iter := 0; iter < p.iterations; iter++ {
+		mapActive := all
+		reduceActive := all
+		mapTasks := p.mapTasks
+		mapTaskSec := p.mapTaskSec
+		mapTaskMemOps := p.mapTaskMemOps
+		if iter > 0 && p.mapActiveLate != nil {
+			mapActive = p.mapActiveLate
+		}
+		if iter > 0 && p.mapTasksLate > 0 {
+			mapTasks = p.mapTasksLate
+		}
+		if iter > 0 && p.mapTaskSecLate > 0 {
+			mapTaskSec = p.mapTaskSecLate
+		}
+		if iter > 0 && p.mapTaskMemOpsLate > 0 {
+			mapTaskMemOps = p.mapTaskMemOpsLate
+		}
+		if iter > 0 && p.reduceActiveLate != nil {
+			reduceActive = p.reduceActiveLate
+		}
+
+		// --- Library initialization ---
+		libWork := make([]float64, threads)
+		libMem := make([]float64, threads)
+		libWork[0] = secToCycles(p.libInitSec)
+		libMem[0] = p.libInitMemOps
+		libTraffic := sim.TrafficMaster(threads, 0, p.libInitMemOps*flitsPerMemOp/float64(threads-1))
+		if p.masterPartnerGroup >= 0 {
+			// master <-> partner-group coupling traffic, split across the
+			// iterations and attached to the phases where the master is
+			// active (libinit and merge)
+			partners := groupThreads(p.masterPartnerGroup, groupSize, threads)
+			per := p.masterPartnerFlits / float64(p.iterations) / float64(len(partners)) / 2
+			extra := zero(threads)
+			for _, th := range partners {
+				if th != 0 {
+					extra[0][th] += per
+					extra[th][0] += per
+				}
+			}
+			sim.AddTraffic(libTraffic, extra)
+		}
+		w.Phases = append(w.Phases, sim.Phase{
+			Kind: sim.LibInit, Iteration: iter,
+			WorkCycles: libWork, MemOps: libMem,
+			Traffic: libTraffic,
+		})
+
+		// --- Map ---
+		localFrac := p.memLocalFrac
+		if localFrac == 0 {
+			localFrac = defaultMemLocalFrac
+		}
+		mapFlits := float64(mapTasks) * mapTaskMemOps * flitsPerMemOp
+		w.Phases = append(w.Phases, sim.Phase{
+			Kind: sim.Map, Iteration: iter,
+			Tasks:         mapTasks,
+			TaskCycles:    secToCycles(mapTaskSec),
+			TaskSpread:    p.mapTaskSpread,
+			TaskMemOps:    mapTaskMemOps,
+			ActiveThreads: mapActive,
+			Traffic:       sim.TrafficLocalized(threads, mapActive, mapFlits, localFrac, groupSize),
+		})
+
+		// --- Reduce ---
+		redWork := make([]float64, threads)
+		redMem := make([]float64, threads)
+		activeSet := make(map[int]bool, len(reduceActive))
+		for _, th := range reduceActive {
+			activeSet[th] = true
+		}
+		for th := 0; th < threads; th++ {
+			if !activeSet[th] {
+				continue
+			}
+			sec := p.reduceGroupSec[group(th)]
+			if th == 0 && p.reduceMasterSec > 0 {
+				sec = p.reduceMasterSec
+			}
+			redWork[th] = secToCycles(sec * jitter(th, p.reduceJitterAmp))
+			redMem[th] = p.reduceMemOps
+		}
+		var redTraffic [][]float64
+		perThreadFlits := p.reduceMemOps * flitsPerMemOp
+		if p.neighborReduce {
+			redTraffic = sim.TrafficNeighbor(threads, reduceActive, perThreadFlits, p.neighborRadius)
+		} else {
+			redTraffic = sim.TrafficKeyExchange(threads, reduceActive, perThreadFlits)
+		}
+		w.Phases = append(w.Phases, sim.Phase{
+			Kind: sim.Reduce, Iteration: iter,
+			WorkCycles: redWork, MemOps: redMem,
+			Traffic: redTraffic,
+		})
+
+		// --- Merge ---
+		for _, st := range p.mergeStages {
+			mw := make([]float64, threads)
+			mm := make([]float64, threads)
+			var senders, receivers []int
+			for th := 0; th < st.Threads && th < threads; th++ {
+				mw[th] = secToCycles(st.WorkSec)
+				mm[th] = st.MemOps
+			}
+			// senders: the upper half of the PREVIOUS stage width ships
+			// partials down to the active threads
+			for th := st.Threads; th < 2*st.Threads && th < threads; th++ {
+				senders = append(senders, th)
+				receivers = append(receivers, th-st.Threads)
+			}
+			w.Phases = append(w.Phases, sim.Phase{
+				Kind: sim.Merge, Iteration: iter,
+				WorkCycles: mw, MemOps: mm,
+				Traffic: sim.TrafficConvergent(threads, senders, receivers, st.MemOps*flitsPerMemOp),
+			})
+		}
+	}
+	return w, w.Validate()
+}
+
+func groupThreads(g, groupSize, threads int) []int {
+	var out []int
+	for th := g * groupSize; th < (g+1)*groupSize && th < threads; th++ {
+		out = append(out, th)
+	}
+	return out
+}
+
+func zero(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// rangeThreads returns [lo, hi).
+func rangeThreads(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for th := lo; th < hi; th++ {
+		out = append(out, th)
+	}
+	return out
+}
+
+// Model parameter sets. Utilization-band targets under the margin-0.35 V/F
+// rule (see internal/vfi): <=0.25 -> 1.5 GHz, (0.25,0.35] -> 1.75,
+// (0.35,0.45] -> 2.0, (0.45,0.55] -> 2.25, >0.55 -> 2.5.
+
+// matrixMultiplyParams: nearly homogeneous utilization (two groups in the
+// 2.25 band, two in the 2.5 band), a hot master (library init + merge)
+// whose traffic ties it to group 0, notable library initialization. One
+// iteration. Table 1: 999x999 matrices.
+func matrixMultiplyParams() modelParams {
+	return modelParams{
+		name:       "mm",
+		iterations: 1,
+
+		libInitSec:    0.12,
+		libInitMemOps: 2.0e6,
+
+		mapTasks:      256,
+		mapTaskSec:    0.30 / 4, // 4 tasks per thread -> 0.30 s busy
+		mapTaskSpread: 0.10,
+		mapTaskMemOps: 1.1e6,
+
+		reduceGroupSec:  [4]float64{0.448, 0.521, 0.601, 0.688},
+		reduceMasterSec: 0.740,
+		reduceMemOps:    3.0e6,
+		reduceJitterAmp: 0.03,
+
+		mergeStages: []mergeStage{
+			{Threads: 8, WorkSec: 0.034, MemOps: 4e5},
+			{Threads: 2, WorkSec: 0.033, MemOps: 4e5},
+			{Threads: 1, WorkSec: 0.033, MemOps: 4e5},
+		},
+
+		masterPartnerGroup: 0,
+		masterPartnerFlits: 3.2e7,
+	}
+}
+
+// histogramParams: like MM but lighter compute, heavier streaming memory
+// traffic, smaller master excess (lowest bottleneck ratio of the three
+// homogeneous apps, Fig. 5). Table 1: 399 MB bitmap.
+func histogramParams() modelParams {
+	return modelParams{
+		name:       "hist",
+		iterations: 1,
+
+		libInitSec:    0.10,
+		libInitMemOps: 2.0e6,
+
+		mapTasks:      256,
+		mapTaskSec:    0.32 / 4,
+		mapTaskSpread: 0.08,
+		mapTaskMemOps: 2.0e6,
+
+		reduceGroupSec:  [4]float64{0.518, 0.582, 0.688, 0.776},
+		reduceMasterSec: 0.740,
+		reduceMemOps:    2.5e6,
+		reduceJitterAmp: 0.03,
+
+		mergeStages: []mergeStage{
+			{Threads: 8, WorkSec: 0.022, MemOps: 3e5},
+			{Threads: 2, WorkSec: 0.022, MemOps: 3e5},
+			{Threads: 1, WorkSec: 0.022, MemOps: 3e5},
+		},
+
+		masterPartnerGroup: 0,
+		masterPartnerFlits: 3.2e7,
+	}
+}
+
+// pcaParams: two iterations (mean pass, covariance pass), the longest
+// library initialization and merge periods, perfectly flat background
+// utilization so all four islands land at 0.9 V/2.25 GHz in VFI 1 — the
+// highest bottleneck-to-average ratio (Fig. 5) and the biggest gainer from
+// the VFI 2 re-assignment (Fig. 4). Table 1: 960x960 matrix.
+func pcaParams() modelParams {
+	return modelParams{
+		name:       "pca",
+		iterations: 2,
+
+		libInitSec:    0.10,
+		libInitMemOps: 1.8e6,
+
+		mapTasks:      256,
+		mapTaskSec:    0.20 / 4,
+		mapTaskSpread: 0.08,
+		mapTaskMemOps: 0.9e6,
+
+		reduceGroupSec:  [4]float64{0.300, 0.325, 0.350, 0.370},
+		reduceMasterSec: 0.420,
+		reduceMemOps:    1.6e6,
+		reduceJitterAmp: 0.02,
+
+		mergeStages: []mergeStage{
+			{Threads: 8, WorkSec: 0.030, MemOps: 5e5},
+			{Threads: 2, WorkSec: 0.030, MemOps: 5e5},
+			{Threads: 1, WorkSec: 0.050, MemOps: 5e5},
+		},
+
+		masterPartnerGroup: 0,
+		masterPartnerFlits: 3.0e7,
+	}
+}
+
+// kmeansParams: two iterations; in the second, only half the threads keep
+// mapping (data groups converge), which makes the utilization pattern
+// strongly bimodal — two islands drop to 0.6 V/1.5 GHz (Table 2) and the
+// application reaps the largest EDP saving (Fig. 8). Many keys and
+// all-to-all key exchange make it network-hungry, so the WiNoC buys a big
+// execution-time recovery. Table 1: 512-dimensional vectors.
+func kmeansParams() modelParams {
+	return modelParams{
+		name:       "kmeans",
+		iterations: 2,
+
+		// Kmeans has the shortest coordination periods of the six apps
+		// (no long library init, Section 4.2), so the master's work is
+		// deliberately small and it clusters with the idle half.
+		libInitSec:    0.012,
+		libInitMemOps: 0.8e6,
+
+		// iteration 1 barely computes (assignments still churn through
+		// memory); iteration 2 is the compute-heavy convergence pass run
+		// by the half of the threads whose data groups remain active
+		mapTasks:          256,
+		mapTaskSec:        0.020,
+		mapTaskSpread:     0.12,
+		mapTaskMemOps:     1.2e6,
+		mapActiveLate:     rangeThreads(32, 64),
+		mapTasksLate:      192,
+		mapTaskSecLate:    0.073,
+		mapTaskMemOpsLate: 3.0e6,
+
+		reduceGroupSec:   [4]float64{0.180, 0.259, 0.406, 0.465},
+		reduceMasterSec:  0, // master is no hotter than its group
+		reduceMemOps:     1.4e7,
+		reduceJitterAmp:  0.10,
+		reduceActiveLate: append([]int{0}, rangeThreads(32, 64)...),
+
+		mergeStages: []mergeStage{
+			{Threads: 8, WorkSec: 0.012, MemOps: 1.5e5},
+			{Threads: 1, WorkSec: 0.015, MemOps: 1.5e5},
+		},
+
+		masterPartnerGroup: -1,
+		// converged data groups touch almost only their own partitions
+		memLocalFrac: 0.75,
+	}
+}
+
+// wordCountParams: heterogeneous utilization (two islands at 0.8 V/2.0,
+// two at 1.0 V/2.5 per Table 2), a huge number of keys producing the
+// heaviest Reduce phase and long-range key exchange — the biggest WiNoC
+// execution-time gain (15%, Section 7.3). Table 1: 100 MB text. The map
+// task pool uses 3 tasks per thread for profile stability; the paper's
+// literal 100-task anecdote is reproduced separately by the Section 4.3
+// case-study bench.
+func wordCountParams() modelParams {
+	return modelParams{
+		name:       "wc",
+		iterations: 1,
+
+		libInitSec:    0.040,
+		libInitMemOps: 1.5e6,
+
+		mapTasks:      192,
+		mapTaskSec:    0.30 / 3,
+		mapTaskSpread: 0.075,
+		mapTaskMemOps: 2.2e6,
+
+		reduceGroupSec:  [4]float64{0.939, 1.007, 1.509, 1.886},
+		reduceMasterSec: 0.420, // the master only coordinates; key-heavy threads dominate
+		reduceMemOps:    1.2e7,
+		reduceJitterAmp: 0.06,
+
+		mergeStages: []mergeStage{
+			{Threads: 8, WorkSec: 0.015, MemOps: 1e5},
+			{Threads: 1, WorkSec: 0.020, MemOps: 1e5},
+		},
+
+		// WC's hot master exchanges its huge key set with the other busy
+		// threads, anchoring it in a high-V/F island (the paper notes WC
+		// places its hot cores well on its own, like Kmeans).
+		masterPartnerGroup: 3,
+		masterPartnerFlits: 1.5e8,
+	}
+}
+
+// linearRegressionParams: almost no library initialization, no merge phase
+// (Section 4.2), homogeneous utilization straddling the 2.25/2.5 boundary
+// (Table 2), and the highest traffic injection rate concentrated on nearby
+// threads — which is why its WiNoC gain is the smallest (4%) while its
+// mesh-vs-WiNoC network EDP gap is the largest (Fig. 8). Table 1: 100 MB
+// of points.
+func linearRegressionParams() modelParams {
+	return modelParams{
+		name:       "lr",
+		iterations: 1,
+
+		libInitSec:    0.008,
+		libInitMemOps: 0.6e6,
+
+		mapTasks:      256,
+		mapTaskSec:    0.30 / 4,
+		mapTaskSpread: 0.06,
+		mapTaskMemOps: 2.8e6,
+
+		reduceGroupSec:  [4]float64{0.389, 0.446, 0.517, 0.588},
+		reduceMasterSec: 0.0,
+		reduceMemOps:    5.0e6,
+		reduceJitterAmp: 0.03,
+		neighborReduce:  true,
+		neighborRadius:  2,
+
+		mergeStages: nil,
+
+		masterPartnerGroup: -1,
+	}
+}

@@ -1,0 +1,52 @@
+package apps
+
+import "wivfi/internal/sim"
+
+// Overrides adjusts selected calibrated model parameters, for sensitivity
+// studies, ablations and calibration tooling. Nil fields keep the app's
+// calibrated value.
+type Overrides struct {
+	// ReduceGroupSec replaces the per-group Reduce compute levels.
+	ReduceGroupSec *[4]float64
+	// ReduceMasterSec replaces the master's Reduce compute level.
+	ReduceMasterSec *float64
+	// MapTaskSecLate replaces the per-task compute of iterations >= 2.
+	MapTaskSecLate *float64
+	// MapTaskMemOps replaces the per-task memory-operation count.
+	MapTaskMemOps *float64
+	// ReduceMemOps replaces the per-thread Reduce memory-operation count.
+	ReduceMemOps *float64
+	// LibInitSec replaces the master's library-initialization compute.
+	LibInitSec *float64
+}
+
+// WorkloadWithOverrides expands the app's model with the given parameter
+// overrides applied.
+func (a *App) WorkloadWithOverrides(threads int, o Overrides) (*sim.Workload, error) {
+	p := a.params
+	if o.ReduceGroupSec != nil {
+		p.reduceGroupSec = *o.ReduceGroupSec
+	}
+	if o.ReduceMasterSec != nil {
+		p.reduceMasterSec = *o.ReduceMasterSec
+	}
+	if o.MapTaskSecLate != nil {
+		p.mapTaskSecLate = *o.MapTaskSecLate
+	}
+	if o.MapTaskMemOps != nil {
+		p.mapTaskMemOps = *o.MapTaskMemOps
+	}
+	if o.ReduceMemOps != nil {
+		p.reduceMemOps = *o.ReduceMemOps
+	}
+	if o.LibInitSec != nil {
+		p.libInitSec = *o.LibInitSec
+	}
+	return buildWorkload(p, threads)
+}
+
+// ReduceLevels returns the app's calibrated per-group Reduce compute levels
+// and the master override (0 means the master follows its group).
+func (a *App) ReduceLevels() ([4]float64, float64) {
+	return a.params.reduceGroupSec, a.params.reduceMasterSec
+}

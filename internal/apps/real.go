@@ -1,0 +1,346 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wivfi/internal/data"
+	"wivfi/internal/mapreduce"
+)
+
+// RealResult summarizes one execution of a benchmark's real implementation
+// on the internal/mapreduce engine.
+type RealResult struct {
+	Summary    string
+	UniqueKeys int
+	Stats      mapreduce.Stats
+	// Check is an application-specific numeric result used by tests
+	// (slope for LR, total count for WC, checksum for MM, ...).
+	Check float64
+}
+
+// scaleCount scales a nominal count by the scale factor, keeping at least
+// min.
+func scaleCount(nominal int, scale float64, min int) int {
+	n := int(float64(nominal) * scale)
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// runWordCount counts Zipf-distributed words (Table 1: 100 MB text,
+// scaled).
+func runWordCount(scale float64, workers int) (RealResult, error) {
+	lines := data.Text(42, scaleCount(20000, scale, 64), 16, 1000)
+	job := mapreduce.Job[string, string, int]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: workers,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+	res, stats, err := mapreduce.Run(job, lines)
+	if err != nil {
+		return RealResult{}, err
+	}
+	var total int
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	return RealResult{
+		Summary:    fmt.Sprintf("wordcount: %d unique words, %d total", len(res.Pairs), total),
+		UniqueKeys: len(res.Pairs),
+		Stats:      stats,
+		Check:      float64(total),
+	}, nil
+}
+
+// runHistogram buckets pixel channel values (Table 1: 399 MB bitmap,
+// scaled).
+func runHistogram(scale float64, workers int) (RealResult, error) {
+	pixels := data.Pixels(42, scaleCount(400000, scale, 256))
+	job := mapreduce.Job[data.Pixel, int, int]{
+		Name: "histogram",
+		Map: func(px data.Pixel, emit func(int, int)) {
+			emit(int(px.R), 1)
+			emit(256+int(px.G), 1)
+			emit(512+int(px.B), 1)
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: workers,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	res, stats, err := mapreduce.Run(job, pixels)
+	if err != nil {
+		return RealResult{}, err
+	}
+	var total int
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	return RealResult{
+		Summary:    fmt.Sprintf("histogram: %d buckets, %d samples", len(res.Pairs), total),
+		UniqueKeys: len(res.Pairs),
+		Stats:      stats,
+		Check:      float64(total),
+	}, nil
+}
+
+// lrAcc accumulates the sufficient statistics of least squares.
+type lrAcc struct {
+	SX, SY, SXX, SXY float64
+	N                int
+}
+
+// runLinearRegression fits y = a*x + b (Table 1: 100 MB of points,
+// scaled).
+func runLinearRegression(scale float64, workers int) (RealResult, error) {
+	const slope, intercept = 2.5, 7.0
+	pts := data.Points(42, scaleCount(200000, scale, 256), slope, intercept, 3.0)
+	job := mapreduce.Job[data.Point, int, lrAcc]{
+		Name: "linear-regression",
+		Map: func(p data.Point, emit func(int, lrAcc)) {
+			emit(0, lrAcc{SX: p.X, SY: p.Y, SXX: p.X * p.X, SXY: p.X * p.Y, N: 1})
+		},
+		Combine: func(a, b lrAcc) lrAcc {
+			return lrAcc{a.SX + b.SX, a.SY + b.SY, a.SXX + b.SXX, a.SXY + b.SXY, a.N + b.N}
+		},
+		Workers: workers,
+	}
+	res, stats, err := mapreduce.Run(job, pts)
+	if err != nil {
+		return RealResult{}, err
+	}
+	a := res.ToMap()[0]
+	n := float64(a.N)
+	fitSlope := (n*a.SXY - a.SX*a.SY) / (n*a.SXX - a.SX*a.SX)
+	fitIntercept := (a.SY - fitSlope*a.SX) / n
+	return RealResult{
+		Summary:    fmt.Sprintf("linear-regression: slope %.4f intercept %.4f over %d points", fitSlope, fitIntercept, a.N),
+		UniqueKeys: 1,
+		Stats:      stats,
+		Check:      fitSlope,
+	}, nil
+}
+
+// runMatrixMultiply computes C = A x B row blocks (Table 1: 999x999,
+// scaled to dim = 999*scale^(1/3) to keep the O(n^3) work proportional).
+func runMatrixMultiply(scale float64, workers int) (RealResult, error) {
+	dim := scaleCount(999, math.Cbrt(scale), 16)
+	a := data.Matrix(42, dim, dim)
+	b := data.Matrix(43, dim, dim)
+	rows := make([]int, dim)
+	for i := range rows {
+		rows[i] = i
+	}
+	job := mapreduce.Job[int, int, []float64]{
+		Name: "matrix-multiply",
+		Map: func(r int, emit func(int, []float64)) {
+			row := make([]float64, dim)
+			for k := 0; k < dim; k++ {
+				aik := a[r][k]
+				if aik == 0 {
+					continue
+				}
+				brow := b[k]
+				for j := 0; j < dim; j++ {
+					row[j] += aik * brow[j]
+				}
+			}
+			emit(r, row)
+		},
+		// rows have unique keys; Combine should never merge two different
+		// partials, but keep it total by summing element-wise
+		Combine: func(x, y []float64) []float64 {
+			for i := range y {
+				x[i] += y[i]
+			}
+			return x
+		},
+		Workers: workers,
+		KeyLess: func(x, y int) bool { return x < y },
+	}
+	res, stats, err := mapreduce.Run(job, rows)
+	if err != nil {
+		return RealResult{}, err
+	}
+	var checksum float64
+	for _, p := range res.Pairs {
+		for _, v := range p.Value {
+			checksum += v
+		}
+	}
+	return RealResult{
+		Summary:    fmt.Sprintf("matrix-multiply: %dx%d, checksum %.6f", dim, dim, checksum),
+		UniqueKeys: len(res.Pairs),
+		Stats:      stats,
+		Check:      checksum,
+	}, nil
+}
+
+// kmeansState carries a per-cluster partial: vector sum and count.
+type kmeansState struct {
+	Sum   []float64
+	Count int
+}
+
+// runKmeans runs the two MapReduce iterations of Lloyd's algorithm the
+// paper describes (Table 1: 512-dimensional vectors, scaled in count).
+func runKmeans(scale float64, workers int) (RealResult, error) {
+	const k = 8
+	dim := 32 // keep the real run cheap; the paper's 512 dims only scale compute
+	points := data.Vectors(42, scaleCount(20000, scale, 512), dim, k)
+	// initial centres: first k points
+	centres := make([][]float64, k)
+	for c := range centres {
+		centres[c] = append([]float64(nil), points[c]...)
+	}
+	var moved float64
+	var lastStats mapreduce.Stats
+	for iter := 0; iter < 2; iter++ {
+		job := mapreduce.Job[[]float64, int, kmeansState]{
+			Name: "kmeans",
+			Map: func(v []float64, emit func(int, kmeansState)) {
+				best, bestD := 0, math.Inf(1)
+				for c := range centres {
+					var d float64
+					for i := range v {
+						diff := v[i] - centres[c][i]
+						d += diff * diff
+					}
+					if d < bestD {
+						best, bestD = c, d
+					}
+				}
+				sum := append([]float64(nil), v...)
+				emit(best, kmeansState{Sum: sum, Count: 1})
+			},
+			Combine: func(x, y kmeansState) kmeansState {
+				for i := range y.Sum {
+					x.Sum[i] += y.Sum[i]
+				}
+				x.Count += y.Count
+				return x
+			},
+			Workers: workers,
+			KeyLess: func(x, y int) bool { return x < y },
+		}
+		res, stats, err := mapreduce.Run(job, points)
+		if err != nil {
+			return RealResult{}, err
+		}
+		lastStats = stats
+		moved = 0
+		for _, p := range res.Pairs {
+			if p.Value.Count == 0 {
+				continue
+			}
+			for i := range centres[p.Key] {
+				nc := p.Value.Sum[i] / float64(p.Value.Count)
+				moved += math.Abs(nc - centres[p.Key][i])
+				centres[p.Key][i] = nc
+			}
+		}
+	}
+	return RealResult{
+		Summary:    fmt.Sprintf("kmeans: %d clusters over %d points, last-move %.4f", k, len(points), moved),
+		UniqueKeys: k,
+		Stats:      lastStats,
+		Check:      moved,
+	}, nil
+}
+
+// pcaCov carries sums for mean and covariance estimation.
+type pcaCov struct {
+	Sum  []float64
+	Dot  []float64 // upper-triangular packed partial of X^T X over tracked columns
+	Rows int
+}
+
+// runPCA runs the paper's two passes: column means, then covariance of the
+// leading columns (Table 1: 960x960 matrix, scaled).
+func runPCA(scale float64, workers int) (RealResult, error) {
+	dim := scaleCount(960, math.Sqrt(scale), 24)
+	tracked := 8 // covariance block actually computed
+	if tracked > dim {
+		tracked = dim
+	}
+	m := data.Matrix(42, dim, dim)
+	rows := make([]int, dim)
+	for i := range rows {
+		rows[i] = i
+	}
+	// pass 1: column means
+	meanJob := mapreduce.Job[int, int, pcaCov]{
+		Name: "pca-mean",
+		Map: func(r int, emit func(int, pcaCov)) {
+			s := make([]float64, dim)
+			copy(s, m[r])
+			emit(0, pcaCov{Sum: s, Rows: 1})
+		},
+		Combine: func(x, y pcaCov) pcaCov {
+			for i := range y.Sum {
+				x.Sum[i] += y.Sum[i]
+			}
+			x.Rows += y.Rows
+			return x
+		},
+		Workers: workers,
+	}
+	meanRes, _, err := mapreduce.Run(meanJob, rows)
+	if err != nil {
+		return RealResult{}, err
+	}
+	acc := meanRes.ToMap()[0]
+	means := make([]float64, dim)
+	for i := range means {
+		means[i] = acc.Sum[i] / float64(acc.Rows)
+	}
+	// pass 2: covariance over the tracked leading columns
+	covJob := mapreduce.Job[int, int, pcaCov]{
+		Name: "pca-cov",
+		Map: func(r int, emit func(int, pcaCov)) {
+			d := make([]float64, tracked*(tracked+1)/2)
+			idx := 0
+			for i := 0; i < tracked; i++ {
+				xi := m[r][i] - means[i]
+				for j := i; j < tracked; j++ {
+					d[idx] += xi * (m[r][j] - means[j])
+					idx++
+				}
+			}
+			emit(0, pcaCov{Dot: d, Rows: 1})
+		},
+		Combine: func(x, y pcaCov) pcaCov {
+			for i := range y.Dot {
+				x.Dot[i] += y.Dot[i]
+			}
+			x.Rows += y.Rows
+			return x
+		},
+		Workers: workers,
+	}
+	covRes, stats, err := mapreduce.Run(covJob, rows)
+	if err != nil {
+		return RealResult{}, err
+	}
+	cov := covRes.ToMap()[0]
+	var trace float64
+	idx := 0
+	for i := 0; i < tracked; i++ {
+		trace += cov.Dot[idx] / float64(cov.Rows-1)
+		idx += tracked - i
+	}
+	return RealResult{
+		Summary:    fmt.Sprintf("pca: %dx%d matrix, covariance trace %.6f over %d leading columns", dim, dim, trace, tracked),
+		UniqueKeys: 1,
+		Stats:      stats,
+		Check:      trace,
+	}, nil
+}

@@ -1,0 +1,123 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's inputs (Table 1): a Zipf-worded text corpus for Word Count, a
+// pixel buffer for Histogram, vectors for Kmeans, noisy linear points for
+// Linear Regression, and dense matrices for Matrix Multiplication and PCA.
+// All generators are deterministic for a given seed.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Words returns the vocabulary used by the text generator: wordCount
+// distinct tokens w0..w{n-1}.
+func Words(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%04d", i)
+	}
+	return out
+}
+
+// Text generates lines of Zipf-distributed words: natural-language-like
+// frequency skew so Word Count's combiners see realistic key reuse.
+func Text(seed int64, lines, wordsPerLine, vocabulary int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(vocabulary-1))
+	vocab := Words(vocabulary)
+	out := make([]string, lines)
+	for i := range out {
+		line := make([]byte, 0, wordsPerLine*6)
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				line = append(line, ' ')
+			}
+			line = append(line, vocab[zipf.Uint64()]...)
+		}
+		out[i] = string(line)
+	}
+	return out
+}
+
+// Pixel is one RGB pixel for the Histogram benchmark.
+type Pixel struct{ R, G, B uint8 }
+
+// Pixels generates a synthetic bitmap with smooth gradients plus noise,
+// mimicking the value distribution of a photographic input.
+func Pixels(seed int64, n int) []Pixel {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pixel, n)
+	for i := range out {
+		base := float64(i) / float64(n) * 255
+		out[i] = Pixel{
+			R: uint8(clamp(base + rng.NormFloat64()*20)),
+			G: uint8(clamp(255 - base + rng.NormFloat64()*20)),
+			B: uint8(clamp(128 + rng.NormFloat64()*40)),
+		}
+	}
+	return out
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+// Vectors generates n points of the given dimension drawn from k Gaussian
+// clusters — the Kmeans input. The true cluster centres are spread on a
+// hypersphere so the first Kmeans iteration makes large reassignments and
+// the second converges, matching the two-iteration behaviour in the paper.
+func Vectors(seed int64, n, dim, k int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centres := make([][]float64, k)
+	for c := range centres {
+		centres[c] = make([]float64, dim)
+		for d := range centres[c] {
+			centres[c][d] = math.Cos(float64(c)*2*math.Pi/float64(k)+float64(d)) * 10
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centres[rng.Intn(k)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = c[d] + rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Point is one (x, y) observation for Linear Regression.
+type Point struct{ X, Y float64 }
+
+// Points generates n observations of y = slope*x + intercept + noise.
+func Points(seed int64, n int, slope, intercept, noise float64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Point, n)
+	for i := range out {
+		x := rng.Float64() * 100
+		out[i] = Point{X: x, Y: slope*x + intercept + rng.NormFloat64()*noise}
+	}
+	return out
+}
+
+// Matrix generates a rows x cols dense matrix with entries in [-1, 1).
+func Matrix(seed int64, rows, cols int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, rows)
+	for r := range out {
+		out[r] = make([]float64, cols)
+		for c := range out[r] {
+			out[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	return out
+}

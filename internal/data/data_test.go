@@ -1,0 +1,142 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWords(t *testing.T) {
+	ws := Words(3)
+	if len(ws) != 3 || ws[0] != "w0000" || ws[2] != "w0002" {
+		t.Errorf("Words = %v", ws)
+	}
+}
+
+func TestTextDeterministicAndShaped(t *testing.T) {
+	a := Text(1, 100, 10, 50)
+	b := Text(1, 100, 10, 50)
+	if len(a) != 100 {
+		t.Fatalf("%d lines", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Text not deterministic")
+		}
+		if got := len(strings.Fields(a[i])); got != 10 {
+			t.Fatalf("line %d has %d words", i, got)
+		}
+	}
+	// Zipf skew: the most common word should dominate
+	counts := map[string]int{}
+	for _, line := range a {
+		for _, w := range strings.Fields(line) {
+			counts[w]++
+		}
+	}
+	var top, total int
+	for _, c := range counts {
+		total += c
+		if c > top {
+			top = c
+		}
+	}
+	if float64(top)/float64(total) < 0.15 {
+		t.Errorf("top word share %v too flat for Zipf", float64(top)/float64(total))
+	}
+	// different seed differs
+	c := Text(2, 100, 10, 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestPixels(t *testing.T) {
+	px := Pixels(1, 1000)
+	if len(px) != 1000 {
+		t.Fatalf("%d pixels", len(px))
+	}
+	// gradient: early pixels darker red than late ones on average
+	var early, late float64
+	for i := 0; i < 100; i++ {
+		early += float64(px[i].R)
+		late += float64(px[900+i].R)
+	}
+	if early >= late {
+		t.Errorf("red gradient missing: early %v late %v", early/100, late/100)
+	}
+}
+
+func TestVectors(t *testing.T) {
+	vs := Vectors(1, 200, 8, 4)
+	if len(vs) != 200 || len(vs[0]) != 8 {
+		t.Fatalf("shape %dx%d", len(vs), len(vs[0]))
+	}
+	// clustered: variance of points is larger than within-cluster noise
+	var mean [8]float64
+	for _, v := range vs {
+		for d, x := range v {
+			mean[d] += x
+		}
+	}
+	var varSum float64
+	for d := range mean {
+		mean[d] /= 200
+	}
+	for _, v := range vs {
+		for d, x := range v {
+			varSum += (x - mean[d]) * (x - mean[d])
+		}
+	}
+	if varSum/200/8 < 2 {
+		t.Errorf("variance %v too small for clustered data", varSum/200/8)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	ps := Points(1, 500, 2.0, 1.0, 0.1)
+	if len(ps) != 500 {
+		t.Fatalf("%d points", len(ps))
+	}
+	// least-squares slope close to 2
+	var sx, sy, sxx, sxy float64
+	for _, p := range ps {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	n := float64(len(ps))
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if slope < 1.99 || slope > 2.01 {
+		t.Errorf("recovered slope %v, want ~2", slope)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := Matrix(1, 5, 7)
+	if len(m) != 5 || len(m[0]) != 7 {
+		t.Fatalf("shape %dx%d", len(m), len(m[0]))
+	}
+	for _, row := range m {
+		for _, v := range row {
+			if v < -1 || v >= 1 {
+				t.Fatalf("entry %v out of [-1,1)", v)
+			}
+		}
+	}
+	m2 := Matrix(1, 5, 7)
+	for r := range m {
+		for c := range m[r] {
+			if m[r][c] != m2[r][c] {
+				t.Fatal("Matrix not deterministic")
+			}
+		}
+	}
+}

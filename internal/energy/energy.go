@@ -1,0 +1,159 @@
+// Package energy implements the power and energy models used to evaluate
+// the VFI-partitioned multicore platform: an analytic CMOS core model
+// standing in for McPAT, and per-flit network energy constants standing in
+// for the paper's synthesized-netlist (Synopsys Prime Power) and HSPICE link
+// characterizations.
+//
+// All figures in the paper are normalized ratios (to the non-VFI mesh
+// baseline, or between two placement strategies), so what matters is the
+// relative scaling of the model terms:
+//
+//   - core dynamic power scales as C·V²·f·u (classic CMOS switching power),
+//   - core leakage scales superlinearly with V and is independent of f,
+//   - a wireline hop costs switch traversal plus length-dependent link
+//     energy,
+//   - a wireless hop costs switch traversal plus a fixed per-bit transceiver
+//     energy that undercuts long multi-hop wireline paths (the premise of
+//     mm-wave WiNoCs, Deb et al. 2013).
+package energy
+
+import "wivfi/internal/platform"
+
+// CoreModel is the analytic per-core power model. The default constants are
+// fit so that one core at 1.0 V / 2.5 GHz and full utilization dissipates
+// ~2.4 W dynamic + ~0.6 W leakage — in line with McPAT numbers for a small
+// out-of-order x86 core at 65 nm, the paper's technology node.
+type CoreModel struct {
+	// CeffNF is the effective switched capacitance in nanofarads; dynamic
+	// power (W) = CeffNF * V^2 * fGHz * utilization.
+	CeffNF float64
+	// LeakW0 is the leakage power (W) at nominal voltage VNom.
+	LeakW0 float64
+	// VNom is the nominal (maximum) supply voltage.
+	VNom float64
+	// LeakExp controls how leakage scales with voltage:
+	// leak(V) = LeakW0 * (V/VNom)^LeakExp. Values around 3 capture the
+	// combined DIBL/gate-leakage sensitivity at 65 nm.
+	LeakExp float64
+	// IdleFrac is the fraction of dynamic power burned when the core is
+	// clocked but idle (clock tree + minimal activity).
+	IdleFrac float64
+}
+
+// DefaultCoreModel returns the calibrated 65 nm core model.
+func DefaultCoreModel() CoreModel {
+	return CoreModel{
+		CeffNF:   0.96, // 0.96 nF -> 2.4 W at 1.0 V, 2.5 GHz, u=1
+		LeakW0:   0.6,
+		VNom:     1.0,
+		LeakExp:  3.0,
+		IdleFrac: 0.12,
+	}
+}
+
+// DynamicPowerW returns the dynamic power (W) of a core at the given
+// operating point and utilization.
+func (m CoreModel) DynamicPowerW(op platform.OperatingPoint, util float64) float64 {
+	return m.CeffNF * op.VoltageV * op.VoltageV * op.FreqGHz * util
+}
+
+// LeakagePowerW returns the voltage-dependent leakage power (W).
+func (m CoreModel) LeakagePowerW(op platform.OperatingPoint) float64 {
+	ratio := op.VoltageV / m.VNom
+	scaled := 1.0
+	for i := 0; i < int(m.LeakExp); i++ {
+		scaled *= ratio
+	}
+	return m.LeakW0 * scaled
+}
+
+// PowerW returns total core power at operating point op: dynamic power for
+// the busy fraction, idle clocking power for the rest, plus leakage.
+func (m CoreModel) PowerW(op platform.OperatingPoint, util float64) float64 {
+	busy := m.DynamicPowerW(op, util)
+	idle := m.DynamicPowerW(op, 1) * m.IdleFrac * (1 - util)
+	return busy + idle + m.LeakagePowerW(op)
+}
+
+// EnergyJ returns the energy (J) a core consumes over seconds of wall time
+// with the given average utilization.
+func (m CoreModel) EnergyJ(op platform.OperatingPoint, util, seconds float64) float64 {
+	return m.PowerW(op, util) * seconds
+}
+
+// NetworkModel captures per-flit energies of the NoC building blocks.
+// Constants follow the 65 nm, 32-bit-flit design space of the paper's
+// references: Deb et al., "Design of an Energy Efficient CMOS Compatible NoC
+// Architecture with Millimeter-Wave Wireless Interconnects" (IEEE TC 2013)
+// and Wettin et al. (DATE 2013).
+type NetworkModel struct {
+	// SwitchPJPerFlitPort is the intra-switch energy per flit per traversed
+	// port (buffer write/read + crossbar + arbitration), in picojoules.
+	SwitchPJPerFlitPort float64
+	// WirePJPerFlitMM is the wireline link energy per flit per millimetre.
+	WirePJPerFlitMM float64
+	// WirelessPJPerFlit is the energy for one flit over a mm-wave wireless
+	// link (transceiver TX+RX), independent of physical distance.
+	WirelessPJPerFlit float64
+	// FlitBits is the flit width; the paper uses 32-bit flits.
+	FlitBits int
+}
+
+// DefaultNetworkModel returns the calibrated 65 nm network energy model.
+//
+// With 32-bit flits: switch traversal ~6 pJ/flit (buffers, crossbar and
+// arbitration of a synthesized 65 nm switch), wireline ~3.8 pJ/flit/mm
+// (0.12 pJ/bit/mm for repeated 65 nm global wires, the figure underlying
+// Deb 2013's 2.38 pJ/bit for a 20 mm span), wireless ~16 pJ/flit (0.5
+// pJ/bit, within the 0.23-2.3 pJ/bit range published for OOK mm-wave
+// transceivers). A one-tile (2.5 mm) wireline hop therefore costs ~15.5
+// pJ/flit while a wireless hop costs ~22 pJ/flit: the crossover sits
+// below 2 mesh hops, so wireless pays off in exactly the long-range-
+// shortcut role it plays in the WiNoC.
+func DefaultNetworkModel() NetworkModel {
+	return NetworkModel{
+		SwitchPJPerFlitPort: 6.0,
+		WirePJPerFlitMM:     3.8,
+		WirelessPJPerFlit:   16.0,
+		FlitBits:            32,
+	}
+}
+
+// WirelineHopPJ returns the energy (pJ) for one flit to traverse one switch
+// plus a wireline link of the given length.
+func (nm NetworkModel) WirelineHopPJ(linkMM float64) float64 {
+	return nm.SwitchPJPerFlitPort + nm.WirePJPerFlitMM*linkMM
+}
+
+// WirelessHopPJ returns the energy (pJ) for one flit to traverse one switch
+// plus a wireless link.
+func (nm NetworkModel) WirelessHopPJ() float64 {
+	return nm.SwitchPJPerFlitPort + nm.WirelessPJPerFlit
+}
+
+// Report aggregates energy and delay for a full-system run.
+type Report struct {
+	ExecSeconds  float64 // end-to-end execution time
+	CoreDynamicJ float64 // total core dynamic energy
+	CoreLeakageJ float64 // total core leakage energy
+	NetworkJ     float64 // total NoC energy (switches + links + wireless)
+}
+
+// TotalJ returns total system energy.
+func (r Report) TotalJ() float64 {
+	return r.CoreDynamicJ + r.CoreLeakageJ + r.NetworkJ
+}
+
+// EDP returns the energy-delay product (J·s), the paper's headline metric.
+func (r Report) EDP() float64 {
+	return r.TotalJ() * r.ExecSeconds
+}
+
+// Relative returns the ratio of this report's metrics to a baseline's:
+// execution time ratio, energy ratio and EDP ratio. It is how every figure
+// in the paper is plotted ("normalized with respect to NVFI Mesh").
+func (r Report) Relative(base Report) (execRatio, energyRatio, edpRatio float64) {
+	return r.ExecSeconds / base.ExecSeconds,
+		r.TotalJ() / base.TotalJ(),
+		r.EDP() / base.EDP()
+}

@@ -1,0 +1,187 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wivfi/internal/platform"
+)
+
+var (
+	opMax = platform.OperatingPoint{VoltageV: 1.0, FreqGHz: 2.5}
+	opMid = platform.OperatingPoint{VoltageV: 0.8, FreqGHz: 2.0}
+	opLow = platform.OperatingPoint{VoltageV: 0.6, FreqGHz: 1.5}
+)
+
+func TestDynamicPowerCalibration(t *testing.T) {
+	m := DefaultCoreModel()
+	got := m.DynamicPowerW(opMax, 1)
+	if math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("dynamic power at nominal = %v W, want 2.4", got)
+	}
+}
+
+func TestDynamicPowerScalesWithV2F(t *testing.T) {
+	m := DefaultCoreModel()
+	p1 := m.DynamicPowerW(opMax, 1)
+	p2 := m.DynamicPowerW(opMid, 1)
+	wantRatio := (0.8 * 0.8 * 2.0) / (1.0 * 1.0 * 2.5)
+	if got := p2 / p1; math.Abs(got-wantRatio) > 1e-12 {
+		t.Errorf("V²f scaling ratio = %v, want %v", got, wantRatio)
+	}
+}
+
+func TestDynamicPowerLinearInUtil(t *testing.T) {
+	m := DefaultCoreModel()
+	full := m.DynamicPowerW(opMax, 1)
+	half := m.DynamicPowerW(opMax, 0.5)
+	if math.Abs(half*2-full) > 1e-12 {
+		t.Errorf("dynamic power not linear in utilization: %v vs %v", half*2, full)
+	}
+}
+
+func TestLeakageScalesWithVoltage(t *testing.T) {
+	m := DefaultCoreModel()
+	lNom := m.LeakagePowerW(opMax)
+	if math.Abs(lNom-m.LeakW0) > 1e-12 {
+		t.Errorf("leakage at nominal = %v, want %v", lNom, m.LeakW0)
+	}
+	lLow := m.LeakagePowerW(opLow)
+	want := m.LeakW0 * 0.6 * 0.6 * 0.6
+	if math.Abs(lLow-want) > 1e-12 {
+		t.Errorf("leakage at 0.6V = %v, want %v", lLow, want)
+	}
+	if lLow >= lNom {
+		t.Error("leakage did not decrease with voltage")
+	}
+}
+
+func TestPowerIncludesIdleClocking(t *testing.T) {
+	m := DefaultCoreModel()
+	idle := m.PowerW(opMax, 0)
+	if idle <= m.LeakagePowerW(opMax) {
+		t.Error("fully idle core should still burn clock-tree dynamic power")
+	}
+	busy := m.PowerW(opMax, 1)
+	if busy <= idle {
+		t.Error("busy power should exceed idle power")
+	}
+}
+
+func TestEnergyJ(t *testing.T) {
+	m := DefaultCoreModel()
+	p := m.PowerW(opMid, 0.5)
+	if got := m.EnergyJ(opMid, 0.5, 2); math.Abs(got-2*p) > 1e-12 {
+		t.Errorf("EnergyJ = %v, want %v", got, 2*p)
+	}
+}
+
+// Property: lowering V/F at fixed utilization never increases power.
+func TestPowerMonotoneInOperatingPoint(t *testing.T) {
+	m := DefaultCoreModel()
+	table := platform.DefaultDVFSTable()
+	f := func(rawU uint8) bool {
+		u := float64(rawU%101) / 100
+		prev := -1.0
+		for _, op := range table {
+			p := m.PowerW(op, u)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWirelineHopEnergy(t *testing.T) {
+	nm := DefaultNetworkModel()
+	got := nm.WirelineHopPJ(2.5)
+	want := nm.SwitchPJPerFlitPort + nm.WirePJPerFlitMM*2.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("WirelineHopPJ = %v, want %v", got, want)
+	}
+}
+
+func TestWirelessBeatsLongWirelinePaths(t *testing.T) {
+	nm := DefaultNetworkModel()
+	wireless := nm.WirelessHopPJ()
+	// One wireless hop must be more expensive than a short wireline hop...
+	if wireless <= nm.WirelineHopPJ(2.5) {
+		t.Error("wireless hop should cost more than a single-tile wireline hop")
+	}
+	// ...but cheaper than the long multi-hop path it replaces. A corner-to-
+	// corner mesh route on the 8x8 chip is 14 hops plus the destination
+	// switch; compare against 14 one-tile wireline hops.
+	longPath := 14 * nm.WirelineHopPJ(2.5)
+	if wireless >= longPath {
+		t.Errorf("wireless hop (%v pJ) should undercut a 14-hop mesh path (%v pJ)", wireless, longPath)
+	}
+}
+
+func TestDefaultNetworkModelFlitWidth(t *testing.T) {
+	if got := DefaultNetworkModel().FlitBits; got != 32 {
+		t.Errorf("FlitBits = %d, want 32 (paper's flit width)", got)
+	}
+}
+
+func TestReportTotalsAndEDP(t *testing.T) {
+	r := Report{ExecSeconds: 2, CoreDynamicJ: 3, CoreLeakageJ: 1, NetworkJ: 0.5}
+	if got := r.TotalJ(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("TotalJ = %v, want 4.5", got)
+	}
+	if got := r.EDP(); math.Abs(got-9) > 1e-12 {
+		t.Errorf("EDP = %v, want 9", got)
+	}
+}
+
+func TestReportRelative(t *testing.T) {
+	base := Report{ExecSeconds: 1, CoreDynamicJ: 10, CoreLeakageJ: 0, NetworkJ: 0}
+	r := Report{ExecSeconds: 1.1, CoreDynamicJ: 5, CoreLeakageJ: 0, NetworkJ: 0}
+	execR, enR, edpR := r.Relative(base)
+	if math.Abs(execR-1.1) > 1e-12 {
+		t.Errorf("exec ratio = %v", execR)
+	}
+	if math.Abs(enR-0.5) > 1e-12 {
+		t.Errorf("energy ratio = %v", enR)
+	}
+	if math.Abs(edpR-0.55) > 1e-12 {
+		t.Errorf("EDP ratio = %v", edpR)
+	}
+}
+
+// Property: EDP ratio equals energy ratio times exec ratio.
+func TestRelativeConsistencyProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		base := Report{ExecSeconds: 1 + float64(a%100)/10, CoreDynamicJ: 1 + float64(b%100)}
+		r := Report{ExecSeconds: 1 + float64(c%100)/10, CoreDynamicJ: 1 + float64(d%100)}
+		execR, enR, edpR := r.Relative(base)
+		return math.Abs(edpR-execR*enR) < 1e-9*edpR
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The core-level premise of the whole paper: running a lightly-utilized core
+// at a lower V/F saves energy even though the work takes longer.
+func TestDVFSSavesEnergyOnLightWork(t *testing.T) {
+	m := DefaultCoreModel()
+	const workCycles = 1e9 // 1 Gcycle of compute
+	// At fmax the work finishes in workCycles/f seconds with utilization 1
+	// for that period; model the remaining idle time as zero (task ends).
+	tFast := workCycles / (opMax.FreqGHz * 1e9)
+	eFast := m.EnergyJ(opMax, 1, tFast)
+	tSlow := workCycles / (opLow.FreqGHz * 1e9)
+	eSlow := m.EnergyJ(opLow, 1, tSlow)
+	if eSlow >= eFast {
+		t.Errorf("DVFS should save energy: slow %v J vs fast %v J", eSlow, eFast)
+	}
+	if tSlow <= tFast {
+		t.Error("slower clock must stretch execution")
+	}
+}

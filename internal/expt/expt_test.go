@@ -1,0 +1,566 @@
+package expt
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"wivfi/internal/platform"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+// sharedSuite builds the six pipelines once for the whole test binary.
+func sharedSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite = NewSuite(DefaultConfig())
+	})
+	return suite
+}
+
+func freqMultiset(points []platform.OperatingPoint) []float64 {
+	var fs []float64
+	for _, p := range points {
+		fs = append(fs, p.FreqGHz)
+	}
+	sort.Float64s(fs)
+	return fs
+}
+
+func sameMultiset(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := map[string]string{
+		"mm":     "Matrix with dimension 999 x 999",
+		"kmeans": "Vectors with dimension of 512",
+		"pca":    "Matrix with dimension 960 x 960",
+		"hist":   "Medium (399 MB)",
+		"wc":     "Large (100 MB)",
+		"lr":     "Medium (100 MB)",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if want[r.App] != r.Dataset {
+			t.Errorf("%s dataset %q, want %q", r.App, r.Dataset, want[r.App])
+		}
+	}
+	if !strings.Contains(FormatTable1(rows), "999 x 999") {
+		t.Error("FormatTable1 missing content")
+	}
+}
+
+// TestTable2MatchesPaper is the central calibration assertion: the design
+// flow must reproduce the paper's V/F assignments for every benchmark
+// (compared as frequency multisets; cluster labels are canonical order).
+func TestTable2MatchesPaper(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVFI1 := map[string][]float64{
+		"mm":     {2.25, 2.25, 2.5, 2.5},
+		"hist":   {2.25, 2.25, 2.5, 2.5},
+		"kmeans": {1.5, 1.5, 2.0, 2.0},
+		"wc":     {2.0, 2.0, 2.5, 2.5},
+		"pca":    {2.25, 2.25, 2.25, 2.25},
+		"lr":     {2.25, 2.25, 2.5, 2.5},
+	}
+	wantVFI2 := map[string][]float64{
+		"mm":     {2.25, 2.5, 2.5, 2.5},
+		"hist":   {2.25, 2.5, 2.5, 2.5},
+		"kmeans": {1.5, 1.5, 2.0, 2.0},
+		"wc":     {2.0, 2.0, 2.5, 2.5},
+		"pca":    {2.25, 2.25, 2.25, 2.5},
+		"lr":     {2.25, 2.25, 2.5, 2.5},
+	}
+	for _, r := range rows {
+		if got := freqMultiset(r.VFI1); !sameMultiset(got, wantVFI1[r.App]) {
+			t.Errorf("%s VFI1 = %v, want %v", r.App, got, wantVFI1[r.App])
+		}
+		if got := freqMultiset(r.VFI2); !sameMultiset(got, wantVFI2[r.App]) {
+			t.Errorf("%s VFI2 = %v, want %v", r.App, got, wantVFI2[r.App])
+		}
+	}
+	// only the three nearly-homogeneous apps get a re-assignment
+	for _, r := range rows {
+		raised := len(r.Raised) > 0
+		wantRaised := r.App == "mm" || r.App == "hist" || r.App == "pca"
+		if raised != wantRaised {
+			t.Errorf("%s raised=%v, want %v", r.App, raised, wantRaised)
+		}
+	}
+	if !strings.Contains(FormatTable2(rows), "1.0/2.5") {
+		t.Error("FormatTable2 missing V/F cells")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Fig2Row{}
+	for _, r := range rows {
+		if len(r.Sorted) != 64 {
+			t.Fatalf("%s has %d cores", r.App, len(r.Sorted))
+		}
+		// sorted descending
+		for i := 1; i < len(r.Sorted); i++ {
+			if r.Sorted[i] > r.Sorted[i-1] {
+				t.Fatalf("%s utilization not sorted", r.App)
+			}
+		}
+		byApp[r.App] = r
+	}
+	// Kmeans: "about 32 cores have less than 50% utilization when compared
+	// to the average"
+	km := byApp["kmeans"]
+	low := 0
+	for _, u := range km.Sorted {
+		if u < 0.5*km.Average {
+			low++
+		}
+	}
+	if low < 24 || low > 40 {
+		t.Errorf("kmeans has %d cores below half the average, want ~32", low)
+	}
+	// PCA/MM/HIST: nearly homogeneous with a visible bottleneck spike
+	for _, name := range []string{"pca", "mm", "hist"} {
+		r := byApp[name]
+		if r.Sorted[0] < 1.2*r.Average {
+			t.Errorf("%s bottleneck %0.3f not above 1.2x average %.3f", name, r.Sorted[0], r.Average)
+		}
+		// background flat: median close to average
+		if r.Sorted[32] < 0.8*r.Average || r.Sorted[32] > 1.2*r.Average {
+			t.Errorf("%s background not homogeneous: median %.3f vs avg %.3f", name, r.Sorted[32], r.Average)
+		}
+	}
+	if FormatFig2(rows) == "" {
+		t.Error("empty Fig2 format")
+	}
+}
+
+// TestFig4Shape: re-assignment must speed up all three applications (or at
+// worst leave HIST unchanged) without EDP penalty beyond a small margin —
+// "PCA benefits most by re-assigning the V/F values".
+func TestFig4Shape(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Fig4Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.ExecVFI2 > r.ExecVFI1+1e-9 {
+			t.Errorf("%s: VFI2 slower than VFI1 (%.3f vs %.3f)", r.App, r.ExecVFI2, r.ExecVFI1)
+		}
+		// VFI1 can pay a marginal EDP penalty on the bottlenecked apps
+		// (that is exactly why VFI2 exists); it must stay near baseline.
+		if r.EDPVFI1 >= 1.05 {
+			t.Errorf("%s: VFI1 EDP %.3f far above baseline", r.App, r.EDPVFI1)
+		}
+		if r.EDPVFI2 >= 1.0 {
+			t.Errorf("%s: VFI2 EDP %.3f not below baseline", r.App, r.EDPVFI2)
+		}
+		if r.EDPVFI2 > r.EDPVFI1*1.05 {
+			t.Errorf("%s: VFI2 EDP %.3f much worse than VFI1 %.3f", r.App, r.EDPVFI2, r.EDPVFI1)
+		}
+	}
+	pcaGain := byApp["pca"].ExecVFI1 - byApp["pca"].ExecVFI2
+	histGain := byApp["hist"].ExecVFI1 - byApp["hist"].ExecVFI2
+	if pcaGain < histGain {
+		t.Errorf("PCA should benefit most from re-assignment: pca %.4f vs hist %.4f", pcaGain, histGain)
+	}
+}
+
+// TestFig5Shape: PCA has the highest bottleneck-to-average ratio, HIST the
+// lowest of the three (Section 7.1).
+func TestFig5Shape(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := map[string]float64{}
+	for _, r := range rows {
+		if r.BottleneckUtil <= r.AverageUtil {
+			t.Errorf("%s bottleneck not above average", r.App)
+		}
+		ratio[r.App] = r.BottleneckUtil / r.AverageUtil
+	}
+	if !(ratio["pca"] > ratio["mm"] && ratio["mm"] > ratio["hist"]) {
+		t.Errorf("bottleneck ratio order pca > mm > hist violated: %v", ratio)
+	}
+}
+
+// TestFig7Shape: the mesh VFI penalty stays bounded (paper: up to 10.5%)
+// and the WiNoC recovers it for the majority of the benchmarks.
+func TestFig7Shape(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faster := 0
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Fatalf("%s/%s zero total", r.App, r.System)
+		}
+		switch r.System {
+		case "vfi-mesh":
+			if r.Total > 1.16 {
+				t.Errorf("%s mesh VFI penalty %.3f exceeds 16%%", r.App, r.Total)
+			}
+		case "vfi-winoc":
+			if r.Total > 1.12 {
+				t.Errorf("%s WiNoC penalty %.3f exceeds 12%%", r.App, r.Total)
+			}
+			if r.Total < 1.0 {
+				faster++
+			}
+		}
+	}
+	if faster < 3 {
+		t.Errorf("only %d benchmarks run faster than NVFI mesh on the WiNoC, want >= 3", faster)
+	}
+}
+
+// TestFig7WiNoCBeatsMesh: the WiNoC execution time must not exceed the VFI
+// mesh for any benchmark, with WC and Kmeans showing the largest gains
+// (Section 7.3).
+func TestFig7WiNoCBeatsMesh(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := map[string]float64{}
+	winoc := map[string]float64{}
+	for _, r := range rows {
+		if r.System == "vfi-mesh" {
+			mesh[r.App] = r.Total
+		} else {
+			winoc[r.App] = r.Total
+		}
+	}
+	gains := map[string]float64{}
+	for app := range mesh {
+		if winoc[app] > mesh[app]+1e-9 {
+			t.Errorf("%s: WiNoC %.3f slower than VFI mesh %.3f", app, winoc[app], mesh[app])
+		}
+		gains[app] = mesh[app] - winoc[app]
+	}
+	// WC and Kmeans lead the gains; LR trails (its traffic is neighbour
+	// -local, Section 7.3)
+	if gains["wc"] < gains["lr"] || gains["kmeans"] < gains["lr"] {
+		t.Errorf("gain order violated: wc=%.4f kmeans=%.4f lr=%.4f", gains["wc"], gains["kmeans"], gains["lr"])
+	}
+}
+
+// TestFig8Shape: every benchmark saves EDP on both VFI systems, the WiNoC
+// strictly beats the mesh, and Kmeans saves the most (Section 7.3).
+func TestFig8Shape(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kmeansEDP, minEDP float64 = 0, 2
+	var minApp string
+	for _, r := range rows {
+		if r.EDPMesh >= 1.0 {
+			t.Errorf("%s: VFI mesh EDP %.3f not below 1", r.App, r.EDPMesh)
+		}
+		if r.EDPWiNoC >= r.EDPMesh {
+			t.Errorf("%s: WiNoC EDP %.3f not below mesh %.3f", r.App, r.EDPWiNoC, r.EDPMesh)
+		}
+		if r.App == "kmeans" {
+			kmeansEDP = r.EDPWiNoC
+		}
+		if r.EDPWiNoC < minEDP {
+			minEDP = r.EDPWiNoC
+			minApp = r.App
+		}
+	}
+	if minApp != "kmeans" {
+		t.Errorf("largest EDP saving on %s (%.3f), want kmeans (%.3f)", minApp, minEDP, kmeansEDP)
+	}
+}
+
+// TestSummaryHeadline: the headline savings land in a paper-comparable
+// band: average EDP saving >= 15%, maximum >= 40%, max slowdown <= 8%.
+func TestSummaryHeadline(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(rows)
+	if sum.AvgEDPSavingPct < 15 {
+		t.Errorf("avg EDP saving %.1f%% below 15%% (paper: 33.7%%)", sum.AvgEDPSavingPct)
+	}
+	if sum.MaxEDPSavingPct < 40 {
+		t.Errorf("max EDP saving %.1f%% below 40%% (paper: 66.2%%)", sum.MaxEDPSavingPct)
+	}
+	if sum.MaxEDPSavingApp != "kmeans" {
+		t.Errorf("max saving on %s, want kmeans", sum.MaxEDPSavingApp)
+	}
+	if sum.MaxExecPenaltyPct > 8 {
+		t.Errorf("max exec penalty %.2f%% above 8%% (paper: 3.22%%)", sum.MaxExecPenaltyPct)
+	}
+	if FormatSummary(sum) == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestFig6Bounded: the two placement strategies must stay close — the
+// paper reports 0.90-1.00 for the max-wireless/min-hop network-EDP ratio;
+// our model lands in a band straddling 1.0 (0.95-1.10, see EXPERIMENTS.md),
+// so we assert proximity and that the per-application choice mechanism has
+// at least one winner on each side.
+func TestFig6Bounded(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, r := range rows {
+		if r.Ratio <= 0 {
+			t.Fatalf("%s ratio %v", r.App, r.Ratio)
+		}
+		if r.Ratio < 0.85 || r.Ratio > 1.15 {
+			t.Errorf("%s strategy ratio %.3f outside the close band [0.85, 1.15]", r.App, r.Ratio)
+		}
+		if r.Ratio <= 1.0 {
+			below++
+		}
+	}
+	if below == 0 {
+		t.Error("max-wireless never wins network EDP; the strategy trade-off collapsed")
+	}
+}
+
+func TestStealingStudyMatchesPaperNumbers(t *testing.T) {
+	st, err := RunStealingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// duration ranges within the paper's measured envelopes
+	if st.F1Min < 0.262 || st.F1Max > 0.292 {
+		t.Errorf("f1 range [%.3f, %.3f] outside paper's 0.268-0.284 (+tolerance)", st.F1Min, st.F1Max)
+	}
+	if st.F2Min < 0.272 || st.F2Max > 0.350 {
+		t.Errorf("f2 range [%.3f, %.3f] outside paper's 0.280-0.342 (+tolerance)", st.F2Min, st.F2Max)
+	}
+	if st.F2Avg <= st.F1Avg {
+		t.Error("slow cores should average longer tasks")
+	}
+	// Eq. 3: floor(100/64 * 0.8) = 1
+	if st.Nf != 1 {
+		t.Errorf("Nf = %d, want 1", st.Nf)
+	}
+	// stealing must help vs no stealing; the cap must not be worse than
+	// default by more than a whisker on this workload
+	if st.MakespanDefault >= st.MakespanNoSteal {
+		t.Error("default stealing did not beat no-stealing")
+	}
+	if st.MakespanCapped > st.MakespanDefault*1.02 {
+		t.Errorf("capped stealing %.3f much worse than default %.3f", st.MakespanCapped, st.MakespanDefault)
+	}
+	if FormatStealing(st) == "" {
+		t.Error("empty stealing format")
+	}
+}
+
+func TestKIntraSweepPrefers31(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kintra sweep is slow")
+	}
+	s := sharedSuite(t)
+	rows, err := s.KIntraSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins31 := 0
+	for _, r := range rows {
+		if r.EDP31 <= r.EDP22 {
+			wins31++
+		}
+	}
+	// the paper reports (3,1) always better; require a clear majority
+	if wins31 < 4 {
+		t.Errorf("(3,1) wins only %d of %d benchmarks", wins31, len(rows))
+	}
+	if !strings.Contains(FormatKIntra(rows), "EDP31") {
+		t.Error("FormatKIntra missing content")
+	}
+	if MinKIntraNote() == "" {
+		t.Error("empty MinKIntra note")
+	}
+}
+
+func TestPipelineInternalConsistency(t *testing.T) {
+	s := sharedSuite(t)
+	err := s.ForEach(func(pl *Pipeline) error {
+		if err := pl.Profile.Validate(); err != nil {
+			t.Errorf("%s profile: %v", pl.App.Name, err)
+		}
+		if err := pl.Plan.VFI1.Validate(); err != nil {
+			t.Errorf("%s VFI1: %v", pl.App.Name, err)
+		}
+		if pl.Baseline.Report.ExecSeconds <= 0 {
+			t.Errorf("%s baseline has zero exec", pl.App.Name)
+		}
+		// iterations: kmeans and pca run two MapReduce iterations
+		iters := 0
+		for _, ph := range pl.Baseline.Phases {
+			if ph.Iteration+1 > iters {
+				iters = ph.Iteration + 1
+			}
+		}
+		if iters != pl.App.Iterations {
+			t.Errorf("%s ran %d iterations, want %d", pl.App.Name, iters, pl.App.Iterations)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseAdaptiveStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension study is slow")
+	}
+	s := sharedSuite(t)
+	rows, err := s.PhaseAdaptiveStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	winsOverMean := 0
+	for _, r := range rows {
+		if r.Transitions <= 0 {
+			t.Errorf("%s: no DVFS transitions recorded", r.App)
+		}
+		// the bottleneck-aware controller must not blow up execution time
+		if r.ExecMaxCore > 1.12 {
+			t.Errorf("%s: max-core controller exec %.3f too slow", r.App, r.ExecMaxCore)
+		}
+		if r.MaxCoreEDP <= r.MeanEDP {
+			winsOverMean++
+		}
+	}
+	// bottleneck-awareness should beat the naive mean controller on most
+	// benchmarks (the hot-master apps)
+	if winsOverMean < 4 {
+		t.Errorf("max-core beats mean on only %d of 6 benchmarks", winsOverMean)
+	}
+	if FormatPhased(rows) == "" {
+		t.Error("empty phased format")
+	}
+}
+
+func TestWIFailureGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension study is slow")
+	}
+	s := sharedSuite(t)
+	rows, err := s.WIFailureStudy("wc", []int{0, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prevEDP := 0.0
+	for i, r := range rows {
+		if r.ExecRatio < 1.0-1e-9 || r.EDPRatio < 1.0-1e-9 {
+			t.Errorf("failing WIs improved the system: %+v", r)
+		}
+		// losing ALL wireless must still cost single-digit percent: the
+		// wireline small-world fabric carries the traffic
+		if r.EDPRatio > 1.10 {
+			t.Errorf("failed=%d: EDP ratio %.3f is not graceful", r.FailedWIs, r.EDPRatio)
+		}
+		if i > 0 && r.EDPRatio < prevEDP-0.02 {
+			t.Errorf("EDP improved markedly with more failures: %+v", rows)
+		}
+		prevEDP = r.EDPRatio
+	}
+	if rows[0].FailedWIs != 0 || rows[0].EDPRatio != 1.0 {
+		t.Errorf("baseline row wrong: %+v", rows[0])
+	}
+	if FormatWIFailure(rows) == "" {
+		t.Error("empty failure format")
+	}
+	// failing more WIs than exist is rejected
+	if _, err := s.WIFailureStudy("wc", []int{13}); err == nil {
+		t.Error("13 failures of 12 WIs accepted")
+	}
+}
+
+func TestMarginSweep(t *testing.T) {
+	s := sharedSuite(t)
+	rows, err := s.MarginSweep("kmeans", []float64{0.15, 0.35, 0.65, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// frequencies rise monotonically with the margin
+	for i := 1; i < len(rows); i++ {
+		for j := range rows[i].Freqs {
+			if rows[i].Freqs[j] < rows[i-1].Freqs[j]-1e-9 {
+				t.Errorf("island %d frequency dropped as margin rose: %v -> %v",
+					j, rows[i-1].Freqs, rows[i].Freqs)
+			}
+		}
+	}
+	// a huge margin collapses everything to f_max and erases savings
+	last := rows[len(rows)-1]
+	for _, f := range last.Freqs {
+		if f != 2.5 {
+			t.Errorf("margin 0.95 left an island at %v GHz", f)
+		}
+	}
+	if last.EDPRatio < 0.95 {
+		t.Errorf("all-f_max system should have ~no EDP saving, got %.3f", last.EDPRatio)
+	}
+	// a small margin slows the chip more than the calibrated one
+	if rows[0].ExecRatio <= rows[1].ExecRatio {
+		t.Errorf("margin 0.15 exec %.3f not above margin 0.35 exec %.3f",
+			rows[0].ExecRatio, rows[1].ExecRatio)
+	}
+	if FormatMargin(rows) == "" {
+		t.Error("empty margin format")
+	}
+	if _, err := s.MarginSweep("kmeans", []float64{1.5}); err == nil {
+		t.Error("margin > 1 accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wivfi/internal/noc"
+	"wivfi/internal/place"
+	"wivfi/internal/sched"
+	"wivfi/internal/sim"
+	"wivfi/internal/topo"
+)
+
+// WIFailureRow is one point of the wireless-fault robustness study: the
+// WiNoC with the given number of failed wireless interfaces, relative to
+// the healthy WiNoC.
+type WIFailureRow struct {
+	App       string
+	FailedWIs int
+	// ExecRatio and EDPRatio are relative to the healthy (0-failure)
+	// WiNoC run.
+	ExecRatio float64
+	EDPRatio  float64
+}
+
+// WIFailureStudy is an extension beyond the paper: it quantifies how
+// gracefully the VFI WiNoC degrades as mm-wave interfaces fail. The
+// wireline small-world fabric keeps the network connected by construction,
+// so failures cost latency and energy, never correctness.
+func (s *Suite) WIFailureStudy(appName string, failures []int) ([]WIFailureRow, error) {
+	pl, err := s.Pipeline(appName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config.Build
+
+	// rebuild the WiNoC placement once; failures then disable WIs in
+	// deterministic id order
+	opts := cfg.Place
+	opts.SmallWorld = cfg.SmallWorld
+	opts.Costs = cfg.LinkCosts
+	opts.Routing = noc.UpDown
+	res, err := place.MaxWirelessUtil(cfg.Chip, pl.Plan.VFI2.Assign, pl.Profile.Traffic, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []WIFailureRow
+	var healthy *sim.RunResult
+	sorted := append([]int(nil), failures...)
+	sort.Ints(sorted)
+	for _, k := range sorted {
+		if k < 0 || k > len(res.Topology.WIs) {
+			return nil, fmt.Errorf("expt: cannot fail %d of %d WIs", k, len(res.Topology.WIs))
+		}
+		// fresh topology per point (DisableWI mutates)
+		tp, err := place.BuildTopology(cfg.Chip, nil, res.WIPlacement, opts.SmallWorld)
+		if err != nil {
+			return nil, err
+		}
+		wis := append([]int(nil), tp.WIs...)
+		for i := 0; i < k; i++ {
+			if err := topo.DisableWI(tp, wis[i]); err != nil {
+				return nil, err
+			}
+		}
+		rt, err := noc.BuildRoutes(tp, cfg.LinkCosts, noc.UpDown)
+		if err != nil {
+			return nil, err
+		}
+		sys := &sim.System{
+			Name:               fmt.Sprintf("vfi-winoc-%dfailed", k),
+			Chip:               cfg.Chip,
+			VFI:                pl.Plan.VFI2,
+			Mapping:            res.Mapping,
+			Routes:             rt,
+			NetModel:           cfg.NetModel,
+			CoreModel:          cfg.CoreModel,
+			Analytic:           cfg.Analytic,
+			NetClockGHz:        cfg.NetClockGHz,
+			Policy:             sched.CapVFI,
+			MemRoundTripFactor: cfg.MemRoundTripFactor,
+			AdaptiveRouting:    true,
+		}
+		run, err := sim.Run(pl.Workload, sys)
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			healthy = run
+		}
+		base := healthy
+		if base == nil {
+			// failures list did not include 0: normalize to the first row
+			base = run
+			healthy = run
+		}
+		rows = append(rows, WIFailureRow{
+			App:       appName,
+			FailedWIs: k,
+			ExecRatio: run.Report.ExecSeconds / base.Report.ExecSeconds,
+			EDPRatio:  run.Report.EDP() / base.Report.EDP(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatWIFailure renders the robustness study.
+func FormatWIFailure(rows []WIFailureRow) string {
+	var b strings.Builder
+	b.WriteString("WI-failure robustness (relative to healthy WiNoC)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s failed=%2d exec=%.3f EDP=%.3f\n", r.App, r.FailedWIs, r.ExecRatio, r.EDPRatio)
+	}
+	return b.String()
+}

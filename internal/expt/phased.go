@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"wivfi/internal/platform"
+	"wivfi/internal/sim"
+)
+
+// PhasedRow compares the paper's static VFI 2 mesh system against the
+// phase-adaptive DVFS extension on the same mesh platform.
+type PhasedRow struct {
+	App string
+	// Static is the EDP ratio of the paper's static VFI 2 mesh system vs
+	// the NVFI mesh baseline; Mean and MaxCore are the two phase-adaptive
+	// controllers.
+	StaticEDP  float64
+	MeanEDP    float64
+	MaxCoreEDP float64
+	// Execution-time ratios for the same three systems.
+	ExecStatic  float64
+	ExecMean    float64
+	ExecMaxCore float64
+	// Transitions counts phase boundaries where at least one island moved
+	// (max-core controller).
+	Transitions int
+}
+
+// PhaseAdaptiveStudy runs the extension study: per-phase island V/F derived
+// from the baseline phase profile. The mean-utilization controller throttles
+// islands whose average is low — and stretches master-critical coordination
+// phases; the bottleneck-aware max-core controller only throttles islands
+// with no core on the critical path (Kmeans' idle half during iteration two
+// is the showcase).
+func (s *Suite) PhaseAdaptiveStudy() ([]PhasedRow, error) {
+	var rows []PhasedRow
+	table := platform.DefaultDVFSTable()
+	err := s.ForEach(func(pl *Pipeline) error {
+		meshSys, err := sim.VFIMesh(s.Config.Build, pl.Plan.VFI2, pl.Profile.Traffic)
+		if err != nil {
+			return err
+		}
+		row := PhasedRow{App: pl.App.Name}
+		execStatic, _, staticEDP := pl.VFI2Mesh.Report.Relative(pl.Baseline.Report)
+		row.ExecStatic, row.StaticEDP = execStatic, staticEDP
+		for _, mode := range []sim.PhaseUtilMode{sim.PhaseUtilMean, sim.PhaseUtilMaxCore} {
+			configs := sim.PhaseConfigs(pl.Baseline, pl.Plan.VFI2, table, s.Config.VFI.FreqMargin, mode)
+			phased, err := sim.RunPhased(pl.Workload, meshSys, configs, sim.DefaultDVFSTransition())
+			if err != nil {
+				return err
+			}
+			exec, _, edp := phased.Report.Relative(pl.Baseline.Report)
+			if mode == sim.PhaseUtilMean {
+				row.ExecMean, row.MeanEDP = exec, edp
+			} else {
+				row.ExecMaxCore, row.MaxCoreEDP = exec, edp
+				for i := 1; i < len(configs); i++ {
+					for j := range configs[i].Points {
+						if configs[i].Points[j] != configs[i-1].Points[j] {
+							row.Transitions++
+							break
+						}
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+		return nil
+	})
+	return rows, err
+}
+
+// FormatPhased renders the extension study.
+func FormatPhased(rows []PhasedRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: static VFI 2 vs phase-adaptive DVFS controllers (mesh, vs NVFI mesh)\n")
+	b.WriteString("  app      EDP static/mean/max-core   exec static/mean/max-core  transitions\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %7.3f %7.3f %7.3f    %7.3f %7.3f %7.3f   %6d\n",
+			r.App, r.StaticEDP, r.MeanEDP, r.MaxCoreEDP,
+			r.ExecStatic, r.ExecMean, r.ExecMaxCore, r.Transitions)
+	}
+	return b.String()
+}

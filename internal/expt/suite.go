@@ -1,0 +1,186 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// (Section 7) on the simulated platform: Table 1 (datasets), Table 2 (V/F
+// assignments), Fig. 2 (utilization profiles), Fig. 4 (VFI 1 vs VFI 2),
+// Fig. 5 (bottleneck utilization), Fig. 6 (placement strategies), Fig. 7
+// (execution-time breakdown), Fig. 8 (full-system EDP), the
+// (k_intra, k_inter) sweep of Section 7.2 and the task-stealing case study
+// of Section 4.3.
+//
+// A Suite caches the expensive per-application pipeline — profiling run,
+// VFI design, system construction and the simulation of every system — so
+// the experiment drivers and benchmarks can share results.
+package expt
+
+import (
+	"fmt"
+	"sync"
+
+	"wivfi/internal/apps"
+	"wivfi/internal/platform"
+	"wivfi/internal/sim"
+	"wivfi/internal/vfi"
+)
+
+// Config bundles the platform and design-flow parameters.
+type Config struct {
+	Build sim.BuildConfig
+	VFI   vfi.Options
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{Build: sim.DefaultBuildConfig(), VFI: vfi.DefaultOptions()}
+}
+
+// Pipeline holds everything computed for one benchmark: the design flow of
+// Fig. 3 followed by the simulation of every system variant.
+type Pipeline struct {
+	App      *apps.App
+	Workload *sim.Workload
+	// Profile is the non-VFI characterization (step 1 of Fig. 3).
+	Profile platform.Profile
+	// Plan is the VFI design (clustering, V/F assignment, re-assignment).
+	Plan vfi.Plan
+	// Baseline is the NVFI mesh run every figure normalizes against.
+	Baseline *sim.RunResult
+	// VFI1Mesh / VFI2Mesh are the mesh systems before and after the
+	// bottleneck V/F re-assignment.
+	VFI1Mesh *sim.RunResult
+	VFI2Mesh *sim.RunResult
+	// WiNoC holds the VFI 2 WiNoC runs per placement strategy.
+	WiNoC map[sim.Strategy]*sim.RunResult
+	// BestStrategy is the strategy with the lower full-system EDP — the
+	// per-application choice Section 6 prescribes.
+	BestStrategy sim.Strategy
+}
+
+// BestWiNoC returns the WiNoC run under the chosen strategy.
+func (p *Pipeline) BestWiNoC() *sim.RunResult { return p.WiNoC[p.BestStrategy] }
+
+// BuildPipeline runs the full flow for one benchmark.
+func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
+	w, err := app.Workload(cfg.Build.Chip.NumCores())
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s workload: %w", app.Name, err)
+	}
+	// Step 1 (Fig. 3): characterize on the plain non-VFI system.
+	probeSys, err := sim.NVFIMesh(cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	probeRes, err := sim.Run(w, probeSys)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s profiling run: %w", app.Name, err)
+	}
+	prof := probeRes.Profile()
+
+	// Reporting baseline: the same non-VFI mesh with a sane thread mapping.
+	baseSys, err := sim.NVFIMeshMapped(cfg.Build, prof.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := sim.Run(w, baseSys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 2-4: cluster, assign V/F, re-assign for bottlenecks.
+	plan, err := vfi.Design(prof, cfg.VFI)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s VFI design: %w", app.Name, err)
+	}
+
+	pl := &Pipeline{
+		App:      app,
+		Workload: w,
+		Profile:  prof,
+		Plan:     plan,
+		Baseline: baseRes,
+		WiNoC:    map[sim.Strategy]*sim.RunResult{},
+	}
+
+	for _, variant := range []struct {
+		cfgV platform.VFIConfig
+		dst  **sim.RunResult
+	}{
+		{plan.VFI1, &pl.VFI1Mesh},
+		{plan.VFI2, &pl.VFI2Mesh},
+	} {
+		sys, err := sim.VFIMesh(cfg.Build, variant.cfgV, prof.Traffic)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(w, sys)
+		if err != nil {
+			return nil, err
+		}
+		*variant.dst = res
+	}
+
+	for _, st := range []sim.Strategy{sim.MinHop, sim.MaxWireless} {
+		sys, err := sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, st)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(w, sys)
+		if err != nil {
+			return nil, err
+		}
+		pl.WiNoC[st] = res
+	}
+	pl.BestStrategy = sim.MinHop
+	if pl.WiNoC[sim.MaxWireless].Report.EDP() < pl.WiNoC[sim.MinHop].Report.EDP() {
+		pl.BestStrategy = sim.MaxWireless
+	}
+	return pl, nil
+}
+
+// Suite lazily builds and caches one pipeline per benchmark.
+type Suite struct {
+	Config Config
+
+	mu        sync.Mutex
+	pipelines map[string]*Pipeline
+}
+
+// NewSuite returns an empty suite for the configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{Config: cfg, pipelines: map[string]*Pipeline{}}
+}
+
+// Pipeline returns (building on first use) the pipeline for a benchmark.
+func (s *Suite) Pipeline(name string) (*Pipeline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pl, ok := s.pipelines[name]; ok {
+		return pl, nil
+	}
+	app, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := BuildPipeline(s.Config, app)
+	if err != nil {
+		return nil, err
+	}
+	s.pipelines[name] = pl
+	return pl, nil
+}
+
+// AppOrder is the benchmark ordering used by the figure drivers (Fig. 8's
+// x-axis order).
+var AppOrder = []string{"mm", "wc", "pca", "lr", "hist", "kmeans"}
+
+// ForEach runs fn over every benchmark pipeline in AppOrder.
+func (s *Suite) ForEach(fn func(*Pipeline) error) error {
+	for _, name := range AppOrder {
+		pl, err := s.Pipeline(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(pl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"wivfi/internal/apps"
+	"wivfi/internal/platform"
+)
+
+// Table1Row is one line of Table 1: the benchmark and its dataset.
+type Table1Row struct {
+	App     string
+	Dataset string
+}
+
+// Table1 reproduces Table 1 from the application registry.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, a := range apps.All() {
+		rows = append(rows, Table1Row{App: a.Name, Dataset: a.Table1Dataset})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 as text.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Applications analyzed and datasets used\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s %s\n", r.App, r.Dataset)
+	}
+	return b.String()
+}
+
+// Table2Row is one line of Table 2: the per-cluster V/F assignments of the
+// VFI 1 system and the final VFI 2 value of the re-assigned cluster.
+// Clusters are reported in canonical order (ascending mean utilization).
+type Table2Row struct {
+	App  string
+	VFI1 []platform.OperatingPoint
+	VFI2 []platform.OperatingPoint
+	// Raised lists the islands whose V/F changed between VFI 1 and VFI 2.
+	Raised []int
+}
+
+// Table2 reproduces Table 2 for every benchmark.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	err := s.ForEach(func(pl *Pipeline) error {
+		rows = append(rows, Table2Row{
+			App:    pl.App.Name,
+			VFI1:   pl.Plan.VFI1.Points,
+			VFI2:   pl.Plan.VFI2.Points,
+			Raised: pl.Plan.RaisedIslands,
+		})
+		return nil
+	})
+	return rows, err
+}
+
+// FormatTable2 renders Table 2 as text.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2. V/F assignments (clusters ordered by ascending utilization; * = raised in VFI 2)\n")
+	b.WriteString(fmt.Sprintf("  %-8s %-11s %-11s %-11s %-11s\n", "app", "cluster 1", "cluster 2", "cluster 3", "cluster 4"))
+	for _, r := range rows {
+		cells := make([]string, len(r.VFI1))
+		for j := range r.VFI1 {
+			cell := r.VFI1[j].String()
+			if r.VFI2[j] != r.VFI1[j] {
+				cell += "->" + r.VFI2[j].String() + "*"
+			}
+			cells[j] = cell
+		}
+		fmt.Fprintf(&b, "  %-8s %-11s %-11s %-11s %-11s\n", r.App, cells[0], cells[1], cells[2], cells[3])
+	}
+	return b.String()
+}

@@ -1,0 +1,296 @@
+// Package mapreduce is a shared-memory MapReduce engine in the style of
+// Phoenix++ (Talbot et al., MapReduce '11): a job runs through Split, Map,
+// Reduce and Merge stages on a pool of worker goroutines with work stealing
+// in the Map phase and per-worker combiner containers that keep the
+// intermediate state cache-local.
+//
+// This is the executable counterpart of the platform model: the six
+// benchmark applications in internal/apps run for real on this engine (and
+// their workload models feed the VFI/NoC simulation in internal/sim).
+//
+// Typical use:
+//
+//	job := mapreduce.Job[string, string, int]{
+//		Name:    "wordcount",
+//		Map:     func(line string, emit func(string, int)) { ... },
+//		Combine: func(a, b int) int { return a + b },
+//	}
+//	out, stats, err := mapreduce.Run(job, lines)
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job describes one MapReduce computation over inputs of type In producing
+// (K, V) pairs.
+type Job[In any, K comparable, V any] struct {
+	// Name labels the job in stats output.
+	Name string
+	// Map processes one input record and emits intermediate pairs. It must
+	// be safe for concurrent invocation on distinct records.
+	Map func(record In, emit func(K, V))
+	// Combine merges two values of the same key. It must be associative
+	// and commutative; it runs both inside the map-side combiners and in
+	// the reduce phase.
+	Combine func(a, b V) V
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// TasksPerWorker controls map-task granularity: the input is split
+	// into Workers*TasksPerWorker tasks (0 means 4, Phoenix-like
+	// over-decomposition that gives stealing room).
+	TasksPerWorker int
+	// KeyLess, when non-nil, sorts the merged output by key.
+	KeyLess func(a, b K) bool
+	// KeyHash, when non-nil, shards keys across reduce partitions. The
+	// default hashes the key's fmt representation, which is correct for
+	// any key type but allocates; supply a cheap hash for hot paths.
+	KeyHash func(k K) uint32
+}
+
+// Pair is one (key, value) output record.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Stats reports the execution profile of one run — the same phase taxonomy
+// the platform simulator models.
+type Stats struct {
+	Workers      int
+	Tasks        int
+	Steals       int
+	SplitTime    time.Duration
+	MapTime      time.Duration
+	ReduceTime   time.Duration
+	MergeTime    time.Duration
+	UniqueKeys   int
+	RecordsMaped int64
+}
+
+// Result carries the merged output.
+type Result[K comparable, V any] struct {
+	// Pairs is the merged output, sorted by KeyLess when provided.
+	Pairs []Pair[K, V]
+}
+
+// ToMap returns the output as a map.
+func (r *Result[K, V]) ToMap() map[K]V {
+	m := make(map[K]V, len(r.Pairs))
+	for _, p := range r.Pairs {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// taskQueue is one worker's deque of map-task indices, protected by a
+// mutex so idle workers can steal from the tail.
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// popFront takes the next local task.
+func (q *taskQueue) popFront() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return 0, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t, true
+}
+
+// stealBack takes a task from the tail (victim side).
+func (q *taskQueue) stealBack() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return 0, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t, true
+}
+
+func (q *taskQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+// Run executes the job over data and returns the merged output and stats.
+func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, V], Stats, error) {
+	if job.Map == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: job %q has no Map function", job.Name)
+	}
+	if job.Combine == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: job %q has no Combine function", job.Name)
+	}
+	workers := job.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tpw := job.TasksPerWorker
+	if tpw <= 0 {
+		tpw = 4
+	}
+	var stats Stats
+	stats.Workers = workers
+
+	// ---- Split: divide records into tasks and deal them round-robin ----
+	splitStart := time.Now()
+	numTasks := workers * tpw
+	if numTasks > len(data) {
+		numTasks = len(data)
+	}
+	if numTasks == 0 {
+		numTasks = 1
+	}
+	bounds := make([][2]int, numTasks)
+	per := len(data) / numTasks
+	rem := len(data) % numTasks
+	start := 0
+	for i := range bounds {
+		size := per
+		if i < rem {
+			size++
+		}
+		bounds[i] = [2]int{start, start + size}
+		start += size
+	}
+	stats.Tasks = numTasks
+	queues := make([]*taskQueue, workers)
+	for w := range queues {
+		queues[w] = &taskQueue{}
+	}
+	for i := 0; i < numTasks; i++ {
+		q := queues[i%workers]
+		q.tasks = append(q.tasks, i)
+	}
+	stats.SplitTime = time.Since(splitStart)
+
+	// ---- Map: work-stealing workers with per-worker combiners ----
+	mapStart := time.Now()
+	locals := make([]map[K]V, workers)
+	steals := make([]int, workers)
+	records := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[K]V)
+			emit := func(k K, v V) {
+				if old, ok := local[k]; ok {
+					local[k] = job.Combine(old, v)
+				} else {
+					local[k] = v
+				}
+			}
+			for {
+				idx, ok := queues[w].popFront()
+				if !ok {
+					// steal from the most loaded victim
+					victim, best := -1, 0
+					for v := range queues {
+						if v == w {
+							continue
+						}
+						if s := queues[v].size(); s > best {
+							victim, best = v, s
+						}
+					}
+					if victim < 0 {
+						break
+					}
+					idx, ok = queues[victim].stealBack()
+					if !ok {
+						continue // raced; rescan
+					}
+					steals[w]++
+				}
+				lo, hi := bounds[idx][0], bounds[idx][1]
+				for r := lo; r < hi; r++ {
+					job.Map(data[r], emit)
+					records[w]++
+				}
+			}
+			locals[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		stats.Steals += steals[w]
+		stats.RecordsMaped += records[w]
+	}
+	stats.MapTime = time.Since(mapStart)
+
+	// ---- Reduce: merge the per-worker maps in parallel partitions ----
+	reduceStart := time.Now()
+	// Partition the union of keys by worker ownership: each reducer scans
+	// all local maps but only claims keys hashed to its partition.
+	hash := job.KeyHash
+	if hash == nil {
+		hash = func(k K) uint32 { return fnvHash(fmt.Sprintf("%v", k)) }
+	}
+	partitions := make([]map[K]V, workers)
+	var rg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		rg.Add(1)
+		go func(p int) {
+			defer rg.Done()
+			part := make(map[K]V)
+			for _, local := range locals {
+				for k, v := range local {
+					if int(hash(k))%workers != p {
+						continue
+					}
+					if old, ok := part[k]; ok {
+						part[k] = job.Combine(old, v)
+					} else {
+						part[k] = v
+					}
+				}
+			}
+			partitions[p] = part
+		}(p)
+	}
+	rg.Wait()
+	stats.ReduceTime = time.Since(reduceStart)
+
+	// ---- Merge: concatenate partitions and sort ----
+	mergeStart := time.Now()
+	var total int
+	for _, part := range partitions {
+		total += len(part)
+	}
+	pairs := make([]Pair[K, V], 0, total)
+	for _, part := range partitions {
+		for k, v := range part {
+			pairs = append(pairs, Pair[K, V]{Key: k, Value: v})
+		}
+	}
+	if job.KeyLess != nil {
+		sort.Slice(pairs, func(i, j int) bool { return job.KeyLess(pairs[i].Key, pairs[j].Key) })
+	}
+	stats.MergeTime = time.Since(mergeStart)
+	stats.UniqueKeys = len(pairs)
+	return &Result[K, V]{Pairs: pairs}, stats, nil
+}
+
+// fnvHash is a small FNV-1a over the key's string form, used only to shard
+// reduce partitions deterministically.
+func fnvHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

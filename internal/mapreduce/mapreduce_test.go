@@ -1,0 +1,281 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func wordCountJob(workers int) Job[string, string, int] {
+	return Job[string, string, int]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: workers,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+}
+
+func TestWordCountBasic(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the fox",
+	}
+	res, stats, err := Run(wordCountJob(4), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.ToMap()
+	want := map[string]int{"the": 3, "quick": 1, "brown": 1, "fox": 2, "lazy": 1, "dog": 1}
+	if len(m) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, m[k], v)
+		}
+	}
+	if stats.UniqueKeys != 6 {
+		t.Errorf("UniqueKeys = %d", stats.UniqueKeys)
+	}
+	if stats.RecordsMaped != 3 {
+		t.Errorf("RecordsMaped = %d", stats.RecordsMaped)
+	}
+	// sorted output
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i-1].Key >= res.Pairs[i].Key {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestResultIndependentOfWorkerCount(t *testing.T) {
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, fmt.Sprintf("w%d w%d shared", i%37, i%11))
+	}
+	ref, _, err := Run(wordCountJob(1), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		got, _, err := Run(wordCountJob(workers), lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Pairs) != len(ref.Pairs) {
+			t.Fatalf("workers=%d: %d keys vs %d", workers, len(got.Pairs), len(ref.Pairs))
+		}
+		gm, rm := got.ToMap(), ref.ToMap()
+		for k, v := range rm {
+			if gm[k] != v {
+				t.Fatalf("workers=%d: key %q = %d, want %d", workers, k, gm[k], v)
+			}
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, stats, err := Run(wordCountJob(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Errorf("empty input produced %d pairs", len(res.Pairs))
+	}
+	if stats.RecordsMaped != 0 {
+		t.Errorf("RecordsMaped = %d", stats.RecordsMaped)
+	}
+}
+
+func TestMissingFunctionsRejected(t *testing.T) {
+	if _, _, err := Run(Job[int, int, int]{Combine: func(a, b int) int { return a + b }}, []int{1}); err == nil {
+		t.Error("job without Map accepted")
+	}
+	if _, _, err := Run(Job[int, int, int]{Map: func(int, func(int, int)) {}}, []int{1}); err == nil {
+		t.Error("job without Combine accepted")
+	}
+}
+
+func TestNumericAggregation(t *testing.T) {
+	// histogram of bytes mod 8 using int keys and max-combiner semantics
+	data := make([]int, 1000)
+	for i := range data {
+		data[i] = i
+	}
+	job := Job[int, int, int]{
+		Name: "hist",
+		Map: func(x int, emit func(int, int)) {
+			emit(x%8, 1)
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: 8,
+		KeyLess: func(a, b int) bool { return a < b },
+	}
+	res, _, err := Run(job, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 8 {
+		t.Fatalf("%d buckets", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		if p.Value != 125 {
+			t.Errorf("bucket %d = %d, want 125", p.Key, p.Value)
+		}
+	}
+}
+
+func TestStealingHappensOnSkewedTasks(t *testing.T) {
+	// With tasks dealt round-robin and heavily skewed record costs, some
+	// workers finish early and must steal. We can't force OS scheduling,
+	// but across a large run at least one steal is overwhelmingly likely;
+	// assert stats are self-consistent rather than a specific count.
+	var lines []string
+	for i := 0; i < 2000; i++ {
+		if i%10 == 0 {
+			lines = append(lines, strings.Repeat("hot ", 200))
+		} else {
+			lines = append(lines, "cold")
+		}
+	}
+	res, stats, err := Run(wordCountJob(8), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.ToMap()
+	if m["hot"] != 200*200 {
+		t.Errorf("hot = %d, want 40000", m["hot"])
+	}
+	if m["cold"] != 1800 {
+		t.Errorf("cold = %d, want 1800", m["cold"])
+	}
+	if stats.Steals < 0 || stats.Steals > stats.Tasks {
+		t.Errorf("implausible steal count %d for %d tasks", stats.Steals, stats.Tasks)
+	}
+	if stats.Tasks != 8*4 {
+		t.Errorf("Tasks = %d, want 32", stats.Tasks)
+	}
+}
+
+func TestTasksPerWorkerOverride(t *testing.T) {
+	job := wordCountJob(2)
+	job.TasksPerWorker = 10
+	_, stats, err := Run(job, make([]string, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 20 {
+		t.Errorf("Tasks = %d, want 20", stats.Tasks)
+	}
+}
+
+func TestTasksCappedByRecords(t *testing.T) {
+	_, stats, err := Run(wordCountJob(8), []string{"a b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks > 2 {
+		t.Errorf("Tasks = %d for 2 records", stats.Tasks)
+	}
+}
+
+func TestUnsortedWhenNoKeyLess(t *testing.T) {
+	job := wordCountJob(2)
+	job.KeyLess = nil
+	res, _, err := Run(job, []string{"b a c a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ToMap()["a"]; got != 2 {
+		t.Errorf("a = %d", got)
+	}
+}
+
+func TestStructuredValues(t *testing.T) {
+	// linear-regression style aggregation with struct values
+	type acc struct {
+		SX, SY, SXX, SXY float64
+		N                int
+	}
+	type pt struct{ X, Y float64 }
+	pts := []pt{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	job := Job[pt, int, acc]{
+		Name: "lr",
+		Map: func(p pt, emit func(int, acc)) {
+			emit(0, acc{SX: p.X, SY: p.Y, SXX: p.X * p.X, SXY: p.X * p.Y, N: 1})
+		},
+		Combine: func(a, b acc) acc {
+			return acc{a.SX + b.SX, a.SY + b.SY, a.SXX + b.SXX, a.SXY + b.SXY, a.N + b.N}
+		},
+		Workers: 3,
+	}
+	res, _, err := Run(job, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.ToMap()[0]
+	if a.N != 4 || a.SX != 10 || a.SY != 20 {
+		t.Errorf("acc = %+v", a)
+	}
+	// slope = (n*SXY - SX*SY) / (n*SXX - SX^2) = (4*60-200)/(4*30-100) = 2
+	slope := (float64(a.N)*a.SXY - a.SX*a.SY) / (float64(a.N)*a.SXX - a.SX*a.SX)
+	if slope != 2 {
+		t.Errorf("slope = %v, want 2", slope)
+	}
+}
+
+func TestCustomKeyHash(t *testing.T) {
+	job := wordCountJob(4)
+	calls := 0
+	job.KeyHash = func(k string) uint32 {
+		calls++
+		var h uint32 = 5381
+		for i := 0; i < len(k); i++ {
+			h = h*33 + uint32(k[i])
+		}
+		return h
+	}
+	res, _, err := Run(job, []string{"a b c a", "b a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.ToMap()
+	if m["a"] != 3 || m["b"] != 2 || m["c"] != 1 {
+		t.Errorf("counts wrong with custom hash: %v", m)
+	}
+	if calls == 0 {
+		t.Error("custom hash never invoked")
+	}
+}
+
+func TestCustomHashMatchesDefaultResults(t *testing.T) {
+	var lines []string
+	for i := 0; i < 300; i++ {
+		lines = append(lines, fmt.Sprintf("k%d k%d", i%13, i%7))
+	}
+	def, _, err := Run(wordCountJob(6), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordCountJob(6)
+	job.KeyHash = func(k string) uint32 { return uint32(len(k)) } // terrible but legal
+	custom, _, err := Run(job, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, cm := def.ToMap(), custom.ToMap()
+	if len(dm) != len(cm) {
+		t.Fatalf("key counts differ: %d vs %d", len(dm), len(cm))
+	}
+	for k, v := range dm {
+		if cm[k] != v {
+			t.Errorf("key %q: %d vs %d", k, cm[k], v)
+		}
+	}
+}

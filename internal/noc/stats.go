@@ -1,0 +1,180 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wivfi/internal/energy"
+	"wivfi/internal/topo"
+)
+
+// LinkStat describes the observed load of one directed link in a DES run.
+type LinkStat struct {
+	From, To int
+	Type     topo.LinkType
+	Channel  int
+	// Flits is the number of flits that traversed the link.
+	Flits int64
+	// Utilization is flits divided by simulated cycles.
+	Utilization float64
+}
+
+// DESStats is the extended result of an instrumented simulation run.
+type DESStats struct {
+	DESResult
+	// Latencies holds every delivered packet's latency in cycles, sorted
+	// ascending (enables percentile queries).
+	Latencies []int64
+	// Links holds the per-directed-link flit counts, hottest first.
+	Links []LinkStat
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of packet latency.
+func (s *DESStats) Percentile(p float64) int64 {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("noc: percentile %v out of [0,1]", p))
+	}
+	idx := int(math.Ceil(p*float64(len(s.Latencies)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.Latencies[idx]
+}
+
+// HottestLink returns the most utilized link, or a zero LinkStat when no
+// flit moved.
+func (s *DESStats) HottestLink() LinkStat {
+	if len(s.Links) == 0 {
+		return LinkStat{}
+	}
+	return s.Links[0]
+}
+
+// RunDESInstrumented is RunDES plus per-packet latency capture and
+// per-link flit accounting. It costs a second pass over the packet set and
+// one counter per link, so plain RunDES remains the fast path.
+func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig) (*DESStats, error) {
+	// Run the plain simulation first for the aggregate result; determinism
+	// guarantees the instrumented re-run observes identical behaviour.
+	base, err := RunDES(rt, packets, nm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := &DESStats{DESResult: base}
+
+	// Per-link traversal counts from the static routes: in a delivered-all
+	// run every flit of every packet traverses exactly its route.
+	type key struct{ from, to int }
+	counts := map[key]int64{}
+	for _, pk := range packets {
+		if pk.Src == pk.Dst {
+			continue
+		}
+		cur := pk.Src
+		for _, ai := range rt.paths[pk.Src][pk.Dst] {
+			l := rt.topo.Adj[cur][ai]
+			counts[key{cur, l.To}] += int64(pk.Flits)
+			cur = l.To
+		}
+	}
+	for k, flits := range counts {
+		// find the link metadata
+		var meta topo.Link
+		for _, l := range rt.topo.Adj[k.from] {
+			if l.To == k.to {
+				meta = l
+				break
+			}
+		}
+		util := 0.0
+		if base.Cycles > 0 {
+			util = float64(flits) / float64(base.Cycles)
+		}
+		stats.Links = append(stats.Links, LinkStat{
+			From: k.from, To: k.to,
+			Type: meta.Type, Channel: meta.Channel,
+			Flits: flits, Utilization: util,
+		})
+	}
+	sort.Slice(stats.Links, func(i, j int) bool {
+		if stats.Links[i].Flits != stats.Links[j].Flits {
+			return stats.Links[i].Flits > stats.Links[j].Flits
+		}
+		if stats.Links[i].From != stats.Links[j].From {
+			return stats.Links[i].From < stats.Links[j].From
+		}
+		return stats.Links[i].To < stats.Links[j].To
+	})
+
+	// Latency distribution: re-run with per-packet capture (the simulator
+	// is deterministic, so the replay observes identical behaviour).
+	lat, err := runDESWithHook(rt, packets, nm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	stats.Latencies = lat
+	return stats, nil
+}
+
+// SaturationPoint is one sample of a throughput sweep.
+type SaturationPoint struct {
+	InjectionRate float64 // flits/cycle/node offered
+	AvgLatency    float64 // cycles
+	Delivered     int
+}
+
+// SaturationSweep measures average latency across offered loads on uniform
+// random traffic, the standard NoC characterization curve. It returns one
+// point per rate; latency blowing up marks the saturation throughput.
+func SaturationSweep(rt *RouteTable, rates []float64, packetsPerRate int, flits int, nm energy.NetworkModel, cfg DESConfig, seed int64) ([]SaturationPoint, error) {
+	n := rt.topo.NumSwitches()
+	var out []SaturationPoint
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("noc: non-positive injection rate %v", rate)
+		}
+		rng := newSplitMix(uint64(seed))
+		var pkts []Packet
+		// Bernoulli injection: each node sources packetsPerRate/n packets
+		// spaced so the aggregate offered load matches the rate.
+		horizon := float64(packetsPerRate*flits) / (rate * float64(n))
+		for i := 0; i < packetsPerRate; i++ {
+			src := int(rng.next() % uint64(n))
+			dst := int(rng.next() % uint64(n))
+			for dst == src {
+				dst = int(rng.next() % uint64(n))
+			}
+			inject := int64(float64(rng.next()%1000) / 1000 * horizon)
+			pkts = append(pkts, Packet{ID: i, Src: src, Dst: dst, Flits: flits, Inject: inject})
+		}
+		res, err := RunDES(rt, pkts, nm, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sweep at rate %v: %w", rate, err)
+		}
+		out = append(out, SaturationPoint{
+			InjectionRate: rate,
+			AvgLatency:    res.AvgLatencyCycles,
+			Delivered:     res.Delivered,
+		})
+	}
+	return out, nil
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so the sweep does not
+// depend on math/rand's global ordering guarantees across Go versions.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

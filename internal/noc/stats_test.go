@@ -1,0 +1,169 @@
+package noc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInstrumentedMatchesPlainRun(t *testing.T) {
+	rt := meshRT(t, XY)
+	rng := rand.New(rand.NewSource(1))
+	var pkts []Packet
+	for i := 0; i < 300; i++ {
+		pkts = append(pkts, Packet{
+			ID: i, Src: rng.Intn(64), Dst: rng.Intn(64), Flits: 4,
+			Inject: int64(rng.Intn(2000)),
+		})
+	}
+	plain, err := RunDES(rt, pkts, defaultNM(), DefaultDESConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := RunDESInstrumented(rt, pkts, defaultNM(), DefaultDESConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Delivered != plain.Delivered || inst.AvgLatencyCycles != plain.AvgLatencyCycles {
+		t.Errorf("instrumented diverges: %+v vs %+v", inst.DESResult, plain)
+	}
+	if len(inst.Latencies) != plain.Delivered {
+		t.Fatalf("%d latencies for %d deliveries", len(inst.Latencies), plain.Delivered)
+	}
+	// the latency list must reproduce the aggregate mean and max
+	var sum float64
+	for i, l := range inst.Latencies {
+		sum += float64(l)
+		if i > 0 && l < inst.Latencies[i-1] {
+			t.Fatal("latencies not sorted")
+		}
+	}
+	if math.Abs(sum/float64(len(inst.Latencies))-plain.AvgLatencyCycles) > 1e-9 {
+		t.Errorf("latency mean %v != aggregate %v", sum/float64(len(inst.Latencies)), plain.AvgLatencyCycles)
+	}
+	if inst.Latencies[len(inst.Latencies)-1] != plain.MaxLatencyCycles {
+		t.Errorf("latency max %d != aggregate %d", inst.Latencies[len(inst.Latencies)-1], plain.MaxLatencyCycles)
+	}
+}
+
+func TestInstrumentedLinkConservation(t *testing.T) {
+	rt := meshRT(t, XY)
+	pkts := []Packet{
+		{ID: 0, Src: 0, Dst: 7, Flits: 4},
+		{ID: 1, Src: 8, Dst: 8, Flits: 4}, // local: no link traffic
+		{ID: 2, Src: 63, Dst: 0, Flits: 2},
+	}
+	inst, err := RunDESInstrumented(rt, pkts, defaultNM(), DefaultDESConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linkFlits int64
+	for _, ls := range inst.Links {
+		linkFlits += ls.Flits
+		if ls.Utilization < 0 || ls.Utilization > 1 {
+			t.Errorf("link %d->%d utilization %v", ls.From, ls.To, ls.Utilization)
+		}
+	}
+	// flit-hops: 4 flits x 7 hops + 2 flits x 14 hops
+	want := int64(4*7 + 2*14)
+	if linkFlits != want {
+		t.Errorf("link flits %d, want %d", linkFlits, want)
+	}
+	if inst.TotalFlitHops != want {
+		t.Errorf("TotalFlitHops %d, want %d", inst.TotalFlitHops, want)
+	}
+	hot := inst.HottestLink()
+	if hot.Flits == 0 {
+		t.Error("no hottest link")
+	}
+	// hottest-first ordering
+	for i := 1; i < len(inst.Links); i++ {
+		if inst.Links[i].Flits > inst.Links[i-1].Flits {
+			t.Fatal("links not sorted by flits")
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := &DESStats{Latencies: []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0.0, 10},
+		{0.5, 50},
+		{0.9, 90},
+		{1.0, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %d, want %d", c.p*100, got, c.want)
+		}
+	}
+	empty := &DESStats{}
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if empty.HottestLink().Flits != 0 {
+		t.Error("empty hottest link should be zero")
+	}
+}
+
+func TestPercentileRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(2) did not panic")
+		}
+	}()
+	(&DESStats{Latencies: []int64{1}}).Percentile(2)
+}
+
+func TestSaturationSweepLatencyGrowsWithLoad(t *testing.T) {
+	rt := meshRT(t, XY)
+	rates := []float64{0.01, 0.05, 0.15}
+	points, err := SaturationSweep(rt, rates, 600, 4, defaultNM(), DefaultDESConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i, pt := range points {
+		if pt.Delivered != 600 {
+			t.Errorf("rate %v delivered %d of 600", pt.InjectionRate, pt.Delivered)
+		}
+		if i > 0 && pt.AvgLatency < points[i-1].AvgLatency-1 {
+			t.Errorf("latency dropped with load: %v -> %v", points[i-1].AvgLatency, pt.AvgLatency)
+		}
+	}
+	if points[2].AvgLatency <= points[0].AvgLatency {
+		t.Errorf("no congestion signal across the sweep: %v", points)
+	}
+}
+
+func TestSaturationSweepRejectsBadRate(t *testing.T) {
+	rt := meshRT(t, XY)
+	if _, err := SaturationSweep(rt, []float64{0}, 10, 4, defaultNM(), DefaultDESConfig(), 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := newSplitMix(42), newSplitMix(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("splitmix not deterministic")
+		}
+	}
+	c := newSplitMix(43)
+	same := 0
+	a = newSplitMix(42)
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}

@@ -1,0 +1,568 @@
+// Package place implements the wireless-link placement and thread-mapping
+// methodologies of Section 6 of the paper:
+//
+//   - MinHopCount: map the threads of each VFI cluster onto their quadrant's
+//     tiles so that highly-communicating threads sit close together, build
+//     the small-world wireline fabric, then run simulated annealing over
+//     wireless-interface (WI) positions to minimize the average
+//     traffic-weighted hop count;
+//   - MaxWirelessUtil: pin the WIs near the centre of each VFI quadrant and
+//     map threads "logically near, physically far": the threads carrying the
+//     most traffic are placed on the tiles closest to their cluster's WIs so
+//     their flits ride the energy-efficient wireless links.
+//
+// Thread-level traffic matrices are translated to switch-level matrices by
+// the chosen mapping; the full-system simulator consumes the result.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"wivfi/internal/noc"
+	"wivfi/internal/platform"
+	"wivfi/internal/topo"
+)
+
+// Mapping is a bijection between threads (logical cores carrying the
+// profile's utilization and traffic) and tiles (physical switch positions).
+type Mapping struct {
+	ThreadToTile []int
+	TileToThread []int
+}
+
+// NewIdentityMapping returns the identity mapping over n threads.
+func NewIdentityMapping(n int) Mapping {
+	m := Mapping{ThreadToTile: make([]int, n), TileToThread: make([]int, n)}
+	for i := 0; i < n; i++ {
+		m.ThreadToTile[i] = i
+		m.TileToThread[i] = i
+	}
+	return m
+}
+
+// Validate checks that the mapping is a bijection.
+func (m Mapping) Validate() error {
+	n := len(m.ThreadToTile)
+	if len(m.TileToThread) != n {
+		return fmt.Errorf("place: mapping arrays disagree: %d vs %d", n, len(m.TileToThread))
+	}
+	for thread, tile := range m.ThreadToTile {
+		if tile < 0 || tile >= n {
+			return fmt.Errorf("place: thread %d mapped to bad tile %d", thread, tile)
+		}
+		if m.TileToThread[tile] != thread {
+			return fmt.Errorf("place: mapping not a bijection at thread %d", thread)
+		}
+	}
+	return nil
+}
+
+// MapTraffic rewrites a thread-to-thread traffic matrix into a
+// switch-to-switch matrix under the mapping.
+func MapTraffic(traffic [][]float64, m Mapping) [][]float64 {
+	n := len(traffic)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i, row := range traffic {
+		ti := m.ThreadToTile[i]
+		for j, f := range row {
+			if f != 0 {
+				out[ti][m.ThreadToTile[j]] += f
+			}
+		}
+	}
+	return out
+}
+
+// ClusterTraffic aggregates thread-level traffic to cluster level:
+// out[a][b] is the total traffic from threads of cluster a to threads of
+// cluster b. The result is mapping-invariant and parameterizes the
+// inter-cluster link apportioning of the small-world builder.
+func ClusterTraffic(traffic [][]float64, assign []int, m int) [][]float64 {
+	out := make([][]float64, m)
+	for a := range out {
+		out[a] = make([]float64, m)
+	}
+	for i, row := range traffic {
+		for j, f := range row {
+			if f != 0 && assign[i] != assign[j] {
+				out[assign[i]][assign[j]] += f
+			}
+		}
+	}
+	return out
+}
+
+// Options configures both placement strategies.
+type Options struct {
+	// SmallWorld configures the wireline fabric construction.
+	SmallWorld topo.SmallWorldConfig
+	// Costs is the link cost model used for routing during optimization.
+	Costs noc.LinkCosts
+	// Routing is the mode used to evaluate hop counts (UpDown for WiNoC).
+	Routing noc.RoutingMode
+	// Seed drives the simulated annealing.
+	Seed int64
+	// MappingSweeps and WISweeps bound the two annealing loops.
+	MappingSweeps int
+	WISweeps      int
+}
+
+// DefaultOptions returns settings that converge in well under a second for
+// the 64-core platform.
+func DefaultOptions() Options {
+	return Options{
+		SmallWorld:    topo.DefaultSmallWorldConfig(),
+		Costs:         noc.DefaultLinkCosts(),
+		Routing:       noc.UpDown,
+		Seed:          1,
+		MappingSweeps: 200,
+		WISweeps:      60,
+	}
+}
+
+// Result is the outcome of a placement strategy.
+type Result struct {
+	Mapping     Mapping
+	WIPlacement [][]int // per cluster, WIsPerCluster switch ids
+	Topology    *topo.Topology
+	Routes      *noc.RouteTable
+	// SwitchTraffic is the thread traffic rewritten under Mapping.
+	SwitchTraffic [][]float64
+	// AvgWeightedHops is the traffic-weighted average hop count achieved.
+	AvgWeightedHops float64
+}
+
+// MapThreadsMinDistance maps each cluster's threads onto its quadrant's
+// tiles minimizing sum(f_ip * manhattan(tile_i, tile_p)) with simulated
+// annealing over within-cluster swaps followed by greedy polishing.
+func MapThreadsMinDistance(chip platform.Chip, assign []int, traffic [][]float64, seed int64, sweeps int) (Mapping, error) {
+	n := chip.NumCores()
+	if len(assign) != n || len(traffic) != n {
+		return Mapping{}, fmt.Errorf("place: need %d assignments and traffic rows", n)
+	}
+	quads := topo.Quadrants(chip)
+	if err := checkClusterSizes(assign, quads); err != nil {
+		return Mapping{}, err
+	}
+	m := initialClusterMapping(assign, quads, n)
+	rng := rand.New(rand.NewSource(seed))
+	dist := func(a, b int) float64 { return float64(chip.ManhattanHops(a, b)) }
+	cost := mappingCost(traffic, m, dist)
+	temp := cost / float64(n*4)
+	if temp <= 0 {
+		temp = 1
+	}
+	cool := math.Pow(1e-3, 1/float64(max(sweeps, 1)))
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for move := 0; move < n; move++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			if a == b || assign[a] != assign[b] {
+				continue
+			}
+			d := swapDelta(traffic, m, dist, a, b)
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				applySwap(&m, a, b)
+				cost += d
+			}
+		}
+		temp *= cool
+	}
+	polishMapping(traffic, &m, dist, assign)
+	return m, nil
+}
+
+// initialClusterMapping deals the threads of cluster j onto quadrant j's
+// tiles in index order.
+func initialClusterMapping(assign []int, quads [][]int, n int) Mapping {
+	m := Mapping{ThreadToTile: make([]int, n), TileToThread: make([]int, n)}
+	next := make([]int, len(quads))
+	for thread := 0; thread < n; thread++ {
+		q := assign[thread]
+		tile := quads[q][next[q]]
+		next[q]++
+		m.ThreadToTile[thread] = tile
+		m.TileToThread[tile] = thread
+	}
+	return m
+}
+
+func checkClusterSizes(assign []int, quads [][]int) error {
+	counts := make([]int, len(quads))
+	for _, c := range assign {
+		if c < 0 || c >= len(quads) {
+			return fmt.Errorf("place: cluster index %d out of range", c)
+		}
+		counts[c]++
+	}
+	for q, c := range counts {
+		if c != len(quads[q]) {
+			return fmt.Errorf("place: cluster %d has %d threads for %d tiles", q, c, len(quads[q]))
+		}
+	}
+	return nil
+}
+
+// mappingCost is the full objective: sum over ordered pairs of traffic
+// times distance.
+func mappingCost(traffic [][]float64, m Mapping, dist func(a, b int) float64) float64 {
+	var sum float64
+	for i, row := range traffic {
+		ti := m.ThreadToTile[i]
+		for j, f := range row {
+			if f != 0 {
+				sum += f * dist(ti, m.ThreadToTile[j])
+			}
+		}
+	}
+	return sum
+}
+
+// swapDelta computes the cost change of swapping the tiles of threads a and
+// b in O(n).
+func swapDelta(traffic [][]float64, m Mapping, dist func(x, y int) float64, a, b int) float64 {
+	ta, tb := m.ThreadToTile[a], m.ThreadToTile[b]
+	var d float64
+	for c := range traffic {
+		if c == a || c == b {
+			continue
+		}
+		tc := m.ThreadToTile[c]
+		fa := traffic[a][c] + traffic[c][a]
+		if fa != 0 {
+			d += fa * (dist(tb, tc) - dist(ta, tc))
+		}
+		fb := traffic[b][c] + traffic[c][b]
+		if fb != 0 {
+			d += fb * (dist(ta, tc) - dist(tb, tc))
+		}
+	}
+	// the a-b pair itself: distance unchanged (swap is symmetric)
+	return d
+}
+
+func applySwap(m *Mapping, a, b int) {
+	ta, tb := m.ThreadToTile[a], m.ThreadToTile[b]
+	m.ThreadToTile[a], m.ThreadToTile[b] = tb, ta
+	m.TileToThread[ta], m.TileToThread[tb] = b, a
+}
+
+// polishMapping runs first-improvement swaps until a local optimum.
+func polishMapping(traffic [][]float64, m *Mapping, dist func(x, y int) float64, assign []int) {
+	n := len(traffic)
+	improved := true
+	for improved {
+		improved = false
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if assign[a] != assign[b] {
+					continue
+				}
+				if swapDelta(traffic, *m, dist, a, b) < -1e-12 {
+					applySwap(m, a, b)
+					improved = true
+				}
+			}
+		}
+	}
+}
+
+// CenterWIs returns the max-wireless-utilization WI placement: three
+// switches adjacent to the centre of each quadrant.
+func CenterWIs(chip platform.Chip) [][]int {
+	quads := topo.Quadrants(chip)
+	out := make([][]int, len(quads))
+	for q := range quads {
+		// quadrant row/col origin
+		r0 := (q / 2) * (chip.Rows / 2)
+		c0 := (q % 2) * (chip.Cols / 2)
+		cr := r0 + chip.Rows/4
+		cc := c0 + chip.Cols/4
+		out[q] = []int{
+			chip.ID(cr, cc),
+			chip.ID(cr-1, cc),
+			chip.ID(cr, cc-1),
+		}
+	}
+	return out
+}
+
+// BuildTopology constructs the small-world wireline fabric (inter-cluster
+// links apportioned by the cluster traffic of the mapped assignment) and
+// overlays the WI placement.
+func BuildTopology(chip platform.Chip, interTraffic [][]float64, placement [][]int, cfg topo.SmallWorldConfig) (*topo.Topology, error) {
+	cfg.InterTraffic = interTraffic
+	tp, err := topo.SmallWorld(chip, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := topo.AddWireless(tp, placement); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// evalPlacement measures the traffic-weighted average hop count of a WI
+// placement on a freshly built topology.
+func evalPlacement(chip platform.Chip, interTraffic, switchTraffic [][]float64, placement [][]int, opts Options) (float64, *topo.Topology, *noc.RouteTable, error) {
+	tp, err := BuildTopology(chip, interTraffic, placement, opts.SmallWorld)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rt, err := noc.BuildRoutes(tp, opts.Costs, opts.Routing)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return rt.AvgHops(switchTraffic), tp, rt, nil
+}
+
+// MinHopCount runs strategy A. assign maps thread -> VFI cluster; traffic is
+// thread-level.
+func MinHopCount(chip platform.Chip, assign []int, traffic [][]float64, opts Options) (Result, error) {
+	mapping, err := MapThreadsMinDistance(chip, assign, traffic, opts.Seed, opts.MappingSweeps)
+	if err != nil {
+		return Result{}, err
+	}
+	switchTraffic := MapTraffic(traffic, mapping)
+	tileCluster := topo.QuadrantOf(chip)
+	interTraffic := ClusterTraffic(switchTraffic, tileCluster, len(topo.Quadrants(chip)))
+
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	quads := topo.Quadrants(chip)
+	placement := CenterWIs(chip) // starting point
+	bestHops, bestTopo, bestRT, err := evalPlacement(chip, interTraffic, switchTraffic, placement, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cur := clonePlacement(placement)
+	curHops := bestHops
+	for sweep := 0; sweep < opts.WISweeps; sweep++ {
+		// propose: move one WI to a random other switch in its quadrant
+		q := rng.Intn(len(cur))
+		slot := rng.Intn(len(cur[q]))
+		cand := quads[q][rng.Intn(len(quads[q]))]
+		if containsWI(cur, cand) {
+			continue
+		}
+		old := cur[q][slot]
+		cur[q][slot] = cand
+		hops, tpc, rtc, err := evalPlacement(chip, interTraffic, switchTraffic, cur, opts)
+		if err != nil {
+			cur[q][slot] = old
+			continue
+		}
+		// accept improvements; mild tolerance early on
+		temp := 0.05 * float64(opts.WISweeps-sweep) / float64(opts.WISweeps)
+		if hops < curHops || rng.Float64() < math.Exp((curHops-hops)/maxf(temp, 1e-9)) {
+			curHops = hops
+			if hops < bestHops {
+				bestHops = hops
+				bestTopo, bestRT = tpc, rtc
+				placement = clonePlacement(cur)
+			}
+		} else {
+			cur[q][slot] = old
+		}
+	}
+	return Result{
+		Mapping:         mapping,
+		WIPlacement:     placement,
+		Topology:        bestTopo,
+		Routes:          bestRT,
+		SwitchTraffic:   switchTraffic,
+		AvgWeightedHops: bestHops,
+	}, nil
+}
+
+// MaxWirelessUtil runs strategy B: WIs at quadrant centres, threads mapped
+// so the heaviest communicators sit next to their cluster's WIs.
+func MaxWirelessUtil(chip platform.Chip, assign []int, traffic [][]float64, opts Options) (Result, error) {
+	n := chip.NumCores()
+	if len(assign) != n || len(traffic) != n {
+		return Result{}, fmt.Errorf("place: need %d assignments and traffic rows", n)
+	}
+	quads := topo.Quadrants(chip)
+	if err := checkClusterSizes(assign, quads); err != nil {
+		return Result{}, err
+	}
+	placement := CenterWIs(chip)
+
+	// Thread volume = total traffic in+out; within each cluster, the
+	// highest-volume threads take the tiles closest to a WI ("logically
+	// near, physically far").
+	volume := make([]float64, n)
+	for i, row := range traffic {
+		for j, f := range row {
+			volume[i] += f
+			volume[j] += f
+		}
+	}
+	mapping := Mapping{ThreadToTile: make([]int, n), TileToThread: make([]int, n)}
+	for q, tiles := range quads {
+		var threads []int
+		for th, c := range assign {
+			if c == q {
+				threads = append(threads, th)
+			}
+		}
+		sort.SliceStable(threads, func(a, b int) bool {
+			if volume[threads[a]] != volume[threads[b]] {
+				return volume[threads[a]] > volume[threads[b]]
+			}
+			return threads[a] < threads[b]
+		})
+		ordered := append([]int(nil), tiles...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			da := distToNearestWI(chip, ordered[a], placement[q])
+			db := distToNearestWI(chip, ordered[b], placement[q])
+			if da != db {
+				return da < db
+			}
+			return ordered[a] < ordered[b]
+		})
+		for i, th := range threads {
+			mapping.ThreadToTile[th] = ordered[i]
+			mapping.TileToThread[ordered[i]] = th
+		}
+	}
+	// Locality polish: the greedy WI-proximity order scatters communicating
+	// pairs, so refine with min-distance annealing while pinning the
+	// hottest WIsPerCluster threads of each cluster onto their WI-adjacent
+	// tiles ("logically near, physically far" is preserved; everyone else
+	// regains locality).
+	pinned := make([]bool, n)
+	for q := range quads {
+		var threads []int
+		for th, c := range assign {
+			if c == q {
+				threads = append(threads, th)
+			}
+		}
+		sort.SliceStable(threads, func(a, b int) bool {
+			if volume[threads[a]] != volume[threads[b]] {
+				return volume[threads[a]] > volume[threads[b]]
+			}
+			return threads[a] < threads[b]
+		})
+		for i := 0; i < topo.WIsPerCluster && i < len(threads); i++ {
+			pinned[threads[i]] = true
+		}
+	}
+	annealPinned(chip, assign, traffic, &mapping, pinned, opts.Seed, opts.MappingSweeps)
+	switchTraffic := MapTraffic(traffic, mapping)
+	tileCluster := topo.QuadrantOf(chip)
+	interTraffic := ClusterTraffic(switchTraffic, tileCluster, len(quads))
+	tp, err := BuildTopology(chip, interTraffic, placement, opts.SmallWorld)
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := noc.BuildRoutes(tp, opts.Costs, opts.Routing)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Mapping:         mapping,
+		WIPlacement:     placement,
+		Topology:        tp,
+		Routes:          rt,
+		SwitchTraffic:   switchTraffic,
+		AvgWeightedHops: rt.AvgHops(switchTraffic),
+	}, nil
+}
+
+// annealPinned runs the min-distance annealing over the mapping, swapping
+// only unpinned threads within the same cluster.
+func annealPinned(chip platform.Chip, assign []int, traffic [][]float64, m *Mapping, pinned []bool, seed int64, sweeps int) {
+	n := len(assign)
+	rng := rand.New(rand.NewSource(seed + 7))
+	dist := func(a, b int) float64 { return float64(chip.ManhattanHops(a, b)) }
+	cost := mappingCost(traffic, *m, dist)
+	temp := cost / float64(n*4)
+	if temp <= 0 {
+		temp = 1
+	}
+	cool := math.Pow(1e-3, 1/float64(max(sweeps, 1)))
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for move := 0; move < n; move++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			if a == b || assign[a] != assign[b] || pinned[a] || pinned[b] {
+				continue
+			}
+			d := swapDelta(traffic, *m, dist, a, b)
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				applySwap(m, a, b)
+				cost += d
+			}
+		}
+		temp *= cool
+	}
+	// greedy polish respecting pins
+	improved := true
+	for improved {
+		improved = false
+		for a := 0; a < n; a++ {
+			if pinned[a] {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if pinned[b] || assign[a] != assign[b] {
+					continue
+				}
+				if swapDelta(traffic, *m, dist, a, b) < -1e-12 {
+					applySwap(m, a, b)
+					improved = true
+				}
+			}
+		}
+	}
+}
+
+func distToNearestWI(chip platform.Chip, tile int, wis []int) int {
+	best := math.MaxInt32
+	for _, wi := range wis {
+		if d := chip.ManhattanHops(tile, wi); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func containsWI(placement [][]int, s int) bool {
+	for _, ws := range placement {
+		for _, w := range ws {
+			if w == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clonePlacement(p [][]int) [][]int {
+	out := make([][]int, len(p))
+	for i := range p {
+		out[i] = append([]int(nil), p[i]...)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package platform models the 64-core multicore chip the paper evaluates:
+// homogeneous x86-like cores laid out on an 8x8 grid of tiles, a discrete
+// DVFS operating-point table, and Voltage/Frequency Island (VFI) partitions
+// that assign one operating point to each island.
+//
+// The package deliberately contains no behaviour — it is the shared
+// vocabulary for the clustering (internal/vfi), scheduling (internal/sched),
+// network (internal/noc, internal/topo) and energy (internal/energy) layers.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// OperatingPoint is one voltage/frequency pair from the chip's DVFS table.
+type OperatingPoint struct {
+	VoltageV float64 // supply voltage in volts
+	FreqGHz  float64 // clock frequency in GHz
+}
+
+// String renders the point the way the paper's Table 2 does, e.g. "1.0/2.5".
+func (op OperatingPoint) String() string {
+	f := strconv.FormatFloat(op.FreqGHz, 'f', -1, 64)
+	if !strings.Contains(f, ".") {
+		f += ".0"
+	}
+	return fmt.Sprintf("%.1f/%s", op.VoltageV, f)
+}
+
+// IsZero reports whether the operating point is the zero value.
+func (op OperatingPoint) IsZero() bool {
+	return op.VoltageV == 0 && op.FreqGHz == 0
+}
+
+// DefaultDVFSTable is the discrete V/F ladder used throughout the paper's
+// evaluation. The three highest points (0.8/2.0, 0.9/2.25, 1.0/2.5) appear
+// explicitly in Table 2 together with 0.6/1.5 for Kmeans; 0.7/1.75 completes
+// a uniform 0.1 V / 0.25 GHz ladder. Points are ordered by ascending
+// frequency.
+func DefaultDVFSTable() []OperatingPoint {
+	return []OperatingPoint{
+		{VoltageV: 0.6, FreqGHz: 1.5},
+		{VoltageV: 0.7, FreqGHz: 1.75},
+		{VoltageV: 0.8, FreqGHz: 2.0},
+		{VoltageV: 0.9, FreqGHz: 2.25},
+		{VoltageV: 1.0, FreqGHz: 2.5},
+	}
+}
+
+// MaxPoint returns the highest-frequency point of a DVFS table.
+func MaxPoint(table []OperatingPoint) OperatingPoint {
+	if len(table) == 0 {
+		panic("platform: empty DVFS table")
+	}
+	best := table[0]
+	for _, op := range table[1:] {
+		if op.FreqGHz > best.FreqGHz {
+			best = op
+		}
+	}
+	return best
+}
+
+// QuantizeUp returns the lowest table point whose frequency is >= fGHz.
+// If fGHz exceeds every table frequency the highest point is returned; the
+// V/F selection rule clamps rather than fails when a cluster is fully busy.
+func QuantizeUp(table []OperatingPoint, fGHz float64) OperatingPoint {
+	if len(table) == 0 {
+		panic("platform: empty DVFS table")
+	}
+	best := MaxPoint(table)
+	for _, op := range table {
+		if op.FreqGHz >= fGHz && op.FreqGHz < best.FreqGHz {
+			best = op
+		}
+	}
+	if best.FreqGHz >= fGHz {
+		return best
+	}
+	return MaxPoint(table)
+}
+
+// StepUp returns the next higher point in the table after op, or op itself
+// if op is already the highest point. It is used by the VFI 2 re-assignment,
+// which raises the bottleneck cluster by (at least) one ladder step.
+func StepUp(table []OperatingPoint, op OperatingPoint) OperatingPoint {
+	next := OperatingPoint{}
+	for _, cand := range table {
+		if cand.FreqGHz > op.FreqGHz && (next.IsZero() || cand.FreqGHz < next.FreqGHz) {
+			next = cand
+		}
+	}
+	if next.IsZero() {
+		return op
+	}
+	return next
+}
+
+// Chip describes the physical organisation of the multicore die.
+type Chip struct {
+	Rows, Cols int     // tile grid dimensions; NumCores = Rows*Cols
+	TileMM     float64 // tile edge length in millimetres (link-length unit)
+}
+
+// DefaultChip returns the paper's platform: 64 cores on an 8x8 grid. The
+// 2.5 mm tile edge corresponds to a ~20 mm die edge at 65 nm, the process
+// node of the paper's synthesized switches.
+func DefaultChip() Chip {
+	return Chip{Rows: 8, Cols: 8, TileMM: 2.5}
+}
+
+// NumCores returns the number of cores (= tiles = NoC switches) on the chip.
+func (c Chip) NumCores() int { return c.Rows * c.Cols }
+
+// Coord returns the (row, col) grid position of core id.
+func (c Chip) Coord(id int) (row, col int) {
+	if id < 0 || id >= c.NumCores() {
+		panic(fmt.Sprintf("platform: core id %d out of range [0,%d)", id, c.NumCores()))
+	}
+	return id / c.Cols, id % c.Cols
+}
+
+// ID returns the core id at grid position (row, col).
+func (c Chip) ID(row, col int) int {
+	if row < 0 || row >= c.Rows || col < 0 || col >= c.Cols {
+		panic(fmt.Sprintf("platform: coord (%d,%d) out of %dx%d grid", row, col, c.Rows, c.Cols))
+	}
+	return row*c.Cols + col
+}
+
+// ManhattanHops returns the mesh hop distance between two cores.
+func (c Chip) ManhattanHops(a, b int) int {
+	ar, ac := c.Coord(a)
+	br, bc := c.Coord(b)
+	return abs(ar-br) + abs(ac-bc)
+}
+
+// EuclideanMM returns the physical centre-to-centre distance between two
+// tiles in millimetres, used to size wireline link energy and delay.
+func (c Chip) EuclideanMM(a, b int) float64 {
+	ar, ac := c.Coord(a)
+	br, bc := c.Coord(b)
+	dr := float64(ar-br) * c.TileMM
+	dc := float64(ac-bc) * c.TileMM
+	return math.Hypot(dr, dc)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// VFIConfig assigns every core to a voltage/frequency island and every
+// island to an operating point. A nil/empty config means "non-VFI": all
+// cores at the table maximum.
+type VFIConfig struct {
+	// Assign maps core id -> island index in [0, NumIslands).
+	Assign []int
+	// Points maps island index -> operating point.
+	Points []OperatingPoint
+}
+
+// Uniform returns a VFI configuration with every one of n cores in a single
+// island running at op. It models the non-VFI baseline.
+func Uniform(n int, op OperatingPoint) VFIConfig {
+	cfg := VFIConfig{Assign: make([]int, n), Points: []OperatingPoint{op}}
+	return cfg
+}
+
+// NumIslands returns the number of islands in the configuration.
+func (v VFIConfig) NumIslands() int { return len(v.Points) }
+
+// PointOf returns the operating point of core id.
+func (v VFIConfig) PointOf(core int) OperatingPoint {
+	return v.Points[v.Assign[core]]
+}
+
+// FreqOf returns the clock frequency (GHz) of core id.
+func (v VFIConfig) FreqOf(core int) float64 { return v.PointOf(core).FreqGHz }
+
+// MaxFreq returns the highest island frequency in the configuration.
+func (v VFIConfig) MaxFreq() float64 {
+	var f float64
+	for _, p := range v.Points {
+		if p.FreqGHz > f {
+			f = p.FreqGHz
+		}
+	}
+	return f
+}
+
+// Islands returns, for each island, the sorted list of core ids assigned to
+// it.
+func (v VFIConfig) Islands() [][]int {
+	out := make([][]int, v.NumIslands())
+	for core, isl := range v.Assign {
+		out[isl] = append(out[isl], core)
+	}
+	return out
+}
+
+// Validate checks structural invariants: every core assigned to a valid
+// island and at least one core per island.
+func (v VFIConfig) Validate() error {
+	if len(v.Points) == 0 {
+		return fmt.Errorf("platform: VFI config has no operating points")
+	}
+	seen := make([]int, v.NumIslands())
+	for core, isl := range v.Assign {
+		if isl < 0 || isl >= v.NumIslands() {
+			return fmt.Errorf("platform: core %d assigned to invalid island %d", core, isl)
+		}
+		seen[isl]++
+	}
+	for isl, n := range seen {
+		if n == 0 {
+			return fmt.Errorf("platform: island %d has no cores", isl)
+		}
+	}
+	for isl, p := range v.Points {
+		if p.FreqGHz <= 0 || p.VoltageV <= 0 {
+			return fmt.Errorf("platform: island %d has non-positive operating point %v", isl, p)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the configuration.
+func (v VFIConfig) Clone() VFIConfig {
+	return VFIConfig{
+		Assign: append([]int(nil), v.Assign...),
+		Points: append([]OperatingPoint(nil), v.Points...),
+	}
+}
+
+// Profile is the per-benchmark characterization the VFI flow consumes:
+// per-core utilization and the core-to-core traffic matrix, both measured on
+// the non-VFI baseline system (step 1 of the paper's Fig. 3 design flow).
+type Profile struct {
+	// Util[i] is core i's utilization in [0,1]: committed IPC normalized to
+	// issue width, averaged over the whole run.
+	Util []float64
+	// Traffic[i][p] is the flit rate from core i to core p (flits per
+	// microsecond of baseline execution).
+	Traffic [][]float64
+}
+
+// NumCores returns the number of cores covered by the profile.
+func (p Profile) NumCores() int { return len(p.Util) }
+
+// Validate checks that the profile is square, self-traffic-free and within
+// physical ranges.
+func (p Profile) Validate() error {
+	n := len(p.Util)
+	if len(p.Traffic) != n {
+		return fmt.Errorf("platform: traffic matrix has %d rows for %d cores", len(p.Traffic), n)
+	}
+	for i, u := range p.Util {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("platform: core %d utilization %v out of [0,1]", i, u)
+		}
+	}
+	for i, row := range p.Traffic {
+		if len(row) != n {
+			return fmt.Errorf("platform: traffic row %d has %d columns for %d cores", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("platform: negative traffic %v at (%d,%d)", v, i, j)
+			}
+			if i == j && v != 0 {
+				return fmt.Errorf("platform: self traffic %v at core %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTraffic returns the sum of all traffic matrix entries.
+func (p Profile) TotalTraffic() float64 {
+	var sum float64
+	for _, row := range p.Traffic {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,243 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDVFSTableOrderedAndPositive(t *testing.T) {
+	table := DefaultDVFSTable()
+	if len(table) != 5 {
+		t.Fatalf("expected 5 operating points, got %d", len(table))
+	}
+	for i, op := range table {
+		if op.VoltageV <= 0 || op.FreqGHz <= 0 {
+			t.Errorf("point %d not positive: %+v", i, op)
+		}
+		if i > 0 {
+			prev := table[i-1]
+			if op.FreqGHz <= prev.FreqGHz || op.VoltageV <= prev.VoltageV {
+				t.Errorf("table not strictly ascending at %d: %+v after %+v", i, op, prev)
+			}
+		}
+	}
+	top := table[len(table)-1]
+	if top.VoltageV != 1.0 || top.FreqGHz != 2.5 {
+		t.Errorf("top point = %+v, want 1.0/2.5", top)
+	}
+}
+
+func TestOperatingPointString(t *testing.T) {
+	op := OperatingPoint{VoltageV: 0.9, FreqGHz: 2.25}
+	if got := op.String(); got != "0.9/2.25" {
+		t.Errorf("String = %q, want 0.9/2.25", got)
+	}
+	op2 := OperatingPoint{VoltageV: 1.0, FreqGHz: 2.5}
+	if got := op2.String(); got != "1.0/2.5" {
+		t.Errorf("String = %q, want 1.0/2.5", got)
+	}
+}
+
+func TestMaxPoint(t *testing.T) {
+	table := DefaultDVFSTable()
+	if got := MaxPoint(table); got.FreqGHz != 2.5 {
+		t.Errorf("MaxPoint = %+v", got)
+	}
+}
+
+func TestQuantizeUp(t *testing.T) {
+	table := DefaultDVFSTable()
+	cases := []struct {
+		f    float64
+		want float64
+	}{
+		{0.1, 1.5},
+		{1.5, 1.5},
+		{1.51, 1.75},
+		{2.0, 2.0},
+		{2.26, 2.5},
+		{2.5, 2.5},
+		{9.9, 2.5}, // clamps to max
+	}
+	for _, c := range cases {
+		if got := QuantizeUp(table, c.f); got.FreqGHz != c.want {
+			t.Errorf("QuantizeUp(%v) = %v, want %v GHz", c.f, got.FreqGHz, c.want)
+		}
+	}
+}
+
+func TestStepUp(t *testing.T) {
+	table := DefaultDVFSTable()
+	got := StepUp(table, OperatingPoint{VoltageV: 0.9, FreqGHz: 2.25})
+	if got.FreqGHz != 2.5 {
+		t.Errorf("StepUp(2.25) = %v, want 2.5", got.FreqGHz)
+	}
+	top := MaxPoint(table)
+	if got := StepUp(table, top); got != top {
+		t.Errorf("StepUp(top) = %v, want unchanged", got)
+	}
+}
+
+func TestChipCoordRoundTrip(t *testing.T) {
+	c := DefaultChip()
+	if c.NumCores() != 64 {
+		t.Fatalf("NumCores = %d, want 64", c.NumCores())
+	}
+	for id := 0; id < c.NumCores(); id++ {
+		r, col := c.Coord(id)
+		if back := c.ID(r, col); back != id {
+			t.Errorf("Coord/ID round trip failed for %d: got %d", id, back)
+		}
+	}
+}
+
+func TestChipCoordPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coord(64) did not panic on 8x8 chip")
+		}
+	}()
+	DefaultChip().Coord(64)
+}
+
+func TestManhattanHops(t *testing.T) {
+	c := DefaultChip()
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 8, 1},
+		{0, 63, 14}, // corner to corner on 8x8
+		{9, 18, 2},
+	}
+	for _, cse := range cases {
+		if got := c.ManhattanHops(cse.a, cse.b); got != cse.want {
+			t.Errorf("ManhattanHops(%d,%d) = %d, want %d", cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+func TestEuclideanMM(t *testing.T) {
+	c := DefaultChip()
+	if got := c.EuclideanMM(0, 1); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("EuclideanMM adjacent = %v, want 2.5", got)
+	}
+	want := math.Hypot(2.5, 2.5)
+	if got := c.EuclideanMM(0, 9); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EuclideanMM diagonal = %v, want %v", got, want)
+	}
+}
+
+func TestManhattanSymmetryProperty(t *testing.T) {
+	c := DefaultChip()
+	f := func(a, b uint8) bool {
+		x := int(a) % c.NumCores()
+		y := int(b) % c.NumCores()
+		return c.ManhattanHops(x, y) == c.ManhattanHops(y, x) &&
+			c.EuclideanMM(x, y) == c.EuclideanMM(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformConfig(t *testing.T) {
+	op := OperatingPoint{VoltageV: 1.0, FreqGHz: 2.5}
+	cfg := Uniform(64, op)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if cfg.NumIslands() != 1 {
+		t.Errorf("NumIslands = %d, want 1", cfg.NumIslands())
+	}
+	for core := 0; core < 64; core++ {
+		if cfg.PointOf(core) != op {
+			t.Fatalf("core %d at %v, want %v", core, cfg.PointOf(core), op)
+		}
+	}
+	if cfg.MaxFreq() != 2.5 {
+		t.Errorf("MaxFreq = %v", cfg.MaxFreq())
+	}
+}
+
+func TestVFIConfigIslands(t *testing.T) {
+	cfg := VFIConfig{
+		Assign: []int{0, 1, 0, 1},
+		Points: []OperatingPoint{{0.8, 2.0}, {1.0, 2.5}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	islands := cfg.Islands()
+	if len(islands) != 2 {
+		t.Fatalf("Islands count = %d", len(islands))
+	}
+	if islands[0][0] != 0 || islands[0][1] != 2 {
+		t.Errorf("island 0 = %v, want [0 2]", islands[0])
+	}
+	if islands[1][0] != 1 || islands[1][1] != 3 {
+		t.Errorf("island 1 = %v, want [1 3]", islands[1])
+	}
+	if cfg.FreqOf(3) != 2.5 {
+		t.Errorf("FreqOf(3) = %v", cfg.FreqOf(3))
+	}
+}
+
+func TestVFIConfigValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  VFIConfig
+	}{
+		{"no points", VFIConfig{Assign: []int{0}}},
+		{"bad island index", VFIConfig{Assign: []int{2}, Points: []OperatingPoint{{1, 2.5}}}},
+		{"negative island index", VFIConfig{Assign: []int{-1}, Points: []OperatingPoint{{1, 2.5}}}},
+		{"empty island", VFIConfig{Assign: []int{0, 0}, Points: []OperatingPoint{{1, 2.5}, {0.8, 2.0}}}},
+		{"zero frequency", VFIConfig{Assign: []int{0}, Points: []OperatingPoint{{1, 0}}}},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", c.name)
+		}
+	}
+}
+
+func TestVFIConfigClone(t *testing.T) {
+	cfg := VFIConfig{Assign: []int{0, 1}, Points: []OperatingPoint{{0.8, 2.0}, {1.0, 2.5}}}
+	clone := cfg.Clone()
+	clone.Assign[0] = 1
+	clone.Points[0] = OperatingPoint{0.6, 1.5}
+	if cfg.Assign[0] != 0 || cfg.Points[0].FreqGHz != 2.0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{
+		Util:    []float64{0.5, 0.7},
+		Traffic: [][]float64{{0, 1}, {2, 0}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if good.NumCores() != 2 {
+		t.Errorf("NumCores = %d", good.NumCores())
+	}
+	if got := good.TotalTraffic(); got != 3 {
+		t.Errorf("TotalTraffic = %v, want 3", got)
+	}
+
+	bad := []Profile{
+		{Util: []float64{0.5}, Traffic: [][]float64{{0, 1}, {1, 0}}},       // row count mismatch
+		{Util: []float64{1.5, 0.2}, Traffic: [][]float64{{0, 0}, {0, 0}}},  // util out of range
+		{Util: []float64{0.5, 0.2}, Traffic: [][]float64{{0, -1}, {0, 0}}}, // negative traffic
+		{Util: []float64{0.5, 0.2}, Traffic: [][]float64{{1, 0}, {0, 0}}},  // self traffic
+		{Util: []float64{0.5, 0.2}, Traffic: [][]float64{{0}, {0, 0}}},     // ragged row
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}

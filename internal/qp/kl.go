@@ -1,0 +1,107 @@
+package qp
+
+import "fmt"
+
+// KLRefine improves a feasible equal-size partition with a Kernighan-Lin
+// style pass: repeatedly build a sequence of best-gain swaps with both
+// endpoints locked after each swap, keep the best prefix of the sequence,
+// and iterate until a full pass yields no improvement. Unlike the plain
+// steepest-descent polish inside Anneal, KL can escape shallow local optima
+// by accepting temporarily-worsening swaps inside a pass.
+//
+// The input assignment is not modified; the refined assignment and its
+// cost are returned.
+func KLRefine(p *Problem, assign []int) ([]int, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(assign) != p.N {
+		return nil, 0, fmt.Errorf("qp: assignment length %d for n=%d", len(assign), p.N)
+	}
+	cur := append([]int(nil), assign...)
+	curCost := p.Cost(cur)
+	for pass := 0; pass < p.N; pass++ {
+		improved, newCost := klPass(p, cur, curCost)
+		if !improved {
+			break
+		}
+		curCost = newCost
+	}
+	return cur, curCost, nil
+}
+
+// klPass performs one KL sequence on cur in place. It returns whether the
+// pass improved the cost, and the new cost.
+func klPass(p *Problem, cur []int, curCost float64) (bool, float64) {
+	locked := make([]bool, p.N)
+	type step struct {
+		a, b  int
+		delta float64
+	}
+	var seq []step
+	work := append([]int(nil), cur...)
+	cost := curCost
+
+	// Build a sequence of up to n/2 best-gain swaps, locking participants.
+	for len(seq) < p.N/2 {
+		bestA, bestB := -1, -1
+		bestDelta := 0.0
+		first := true
+		for a := 0; a < p.N; a++ {
+			if locked[a] {
+				continue
+			}
+			for b := a + 1; b < p.N; b++ {
+				if locked[b] || work[a] == work[b] {
+					continue
+				}
+				d := p.swapDelta(work, a, b)
+				if first || d < bestDelta {
+					bestA, bestB, bestDelta = a, b, d
+					first = false
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		work[bestA], work[bestB] = work[bestB], work[bestA]
+		locked[bestA], locked[bestB] = true, true
+		cost += bestDelta
+		seq = append(seq, step{bestA, bestB, bestDelta})
+	}
+
+	// Find the best prefix of the sequence.
+	bestPrefix := 0
+	bestCost := curCost
+	running := curCost
+	for i, st := range seq {
+		running += st.delta
+		if running < bestCost-1e-12 {
+			bestCost = running
+			bestPrefix = i + 1
+		}
+	}
+	if bestPrefix == 0 {
+		return false, curCost
+	}
+	// Apply the winning prefix to cur.
+	for _, st := range seq[:bestPrefix] {
+		cur[st.a], cur[st.b] = cur[st.b], cur[st.a]
+	}
+	return true, bestCost
+}
+
+// SolveRefined runs the annealer and then a KL refinement pass — the
+// highest-quality heuristic pipeline in this package.
+func SolveRefined(p *Problem, opts AnnealOptions) (Solution, error) {
+	sol, err := Anneal(p, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	assign, cost, err := KLRefine(p, sol.Assign)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Assign: assign, Cost: cost}, nil
+}

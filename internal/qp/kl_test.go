@@ -1,0 +1,90 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKLRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(rng, 16, 4)
+		start := GreedySeed(p)
+		// scramble a bit so there is something to fix
+		for k := 0; k < 8; k++ {
+			a, b := rng.Intn(p.N), rng.Intn(p.N)
+			start[a], start[b] = start[b], start[a]
+		}
+		startCost := p.Cost(start)
+		refined, cost, err := KLRefine(p, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, p, refined)
+		if cost > startCost+1e-9 {
+			t.Fatalf("KL worsened cost: %v -> %v", startCost, cost)
+		}
+		if math.Abs(cost-p.Cost(refined)) > 1e-9 {
+			t.Fatalf("reported cost %v != recomputed %v", cost, p.Cost(refined))
+		}
+		// input untouched
+		if p.Cost(start) != startCost {
+			t.Fatal("KLRefine mutated its input")
+		}
+	}
+}
+
+func TestKLRefineReachesOptimumOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 8; trial++ {
+		p := randomProblem(rng, 8, 2)
+		exact, err := BranchAndBound(p, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, cost, err := KLRefine(p, GreedySeed(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, p, refined)
+		if cost < exact.Cost-1e-9 {
+			t.Fatalf("KL cost %v beats proven optimum %v", cost, exact.Cost)
+		}
+		if cost > exact.Cost*1.05+1e-9 {
+			t.Errorf("trial %d: KL cost %v more than 5%% above optimum %v", trial, cost, exact.Cost)
+		}
+	}
+}
+
+func TestSolveRefinedAtLeastAsGoodAsAnneal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		p := randomProblem(rng, 32, 4)
+		plain, err := Anneal(p, DefaultAnnealOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := SolveRefined(p, DefaultAnnealOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, p, refined.Assign)
+		if refined.Cost > plain.Cost+1e-9 {
+			t.Errorf("trial %d: refined %v worse than plain anneal %v", trial, refined.Cost, plain.Cost)
+		}
+	}
+}
+
+func TestKLRefineRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := randomProblem(rng, 8, 2)
+	if _, _, err := KLRefine(p, []int{0, 1}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad := *p
+	bad.M = 3
+	if _, _, err := KLRefine(&bad, GreedySeed(p)); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

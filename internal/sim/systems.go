@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+
+	"wivfi/internal/energy"
+	"wivfi/internal/noc"
+	"wivfi/internal/place"
+	"wivfi/internal/platform"
+	"wivfi/internal/sched"
+	"wivfi/internal/topo"
+)
+
+// Strategy selects the WiNoC placement methodology of Section 6.
+type Strategy int
+
+const (
+	// MinHop minimizes the traffic-weighted hop count (simulated
+	// annealing over WI positions).
+	MinHop Strategy = iota
+	// MaxWireless maximizes wireless-link utilization (WIs at cluster
+	// centres, hot threads placed beside them). The paper finds this
+	// consistently better (Fig. 6) and uses it for the headline results.
+	MaxWireless
+)
+
+func (s Strategy) String() string {
+	if s == MinHop {
+		return "min-hop"
+	}
+	return "max-wireless"
+}
+
+// BuildConfig carries the shared platform parameters for system builders.
+type BuildConfig struct {
+	Chip               platform.Chip
+	CoreModel          energy.CoreModel
+	NetModel           energy.NetworkModel
+	Analytic           noc.AnalyticConfig
+	LinkCosts          noc.LinkCosts
+	SmallWorld         topo.SmallWorldConfig
+	Place              place.Options
+	NetClockGHz        float64
+	MemRoundTripFactor float64
+}
+
+// DefaultBuildConfig returns the paper's 64-core platform with all default
+// models.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		Chip:               platform.DefaultChip(),
+		CoreModel:          energy.DefaultCoreModel(),
+		NetModel:           energy.DefaultNetworkModel(),
+		Analytic:           noc.DefaultAnalyticConfig(),
+		LinkCosts:          noc.DefaultLinkCosts(),
+		SmallWorld:         topo.DefaultSmallWorldConfig(),
+		Place:              place.DefaultOptions(),
+		NetClockGHz:        2.5,
+		MemRoundTripFactor: 3,
+	}
+}
+
+// NVFIMesh builds the baseline: every core at the DVFS maximum, threads
+// mapped identically onto the mesh, default Phoenix stealing.
+func NVFIMesh(cfg BuildConfig) (*System, error) {
+	n := cfg.Chip.NumCores()
+	mesh := topo.Mesh(cfg.Chip)
+	routes, err := noc.BuildRoutes(mesh, cfg.LinkCosts, noc.XY)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:               "nvfi-mesh",
+		Chip:               cfg.Chip,
+		VFI:                platform.Uniform(n, platform.MaxPoint(platform.DefaultDVFSTable())),
+		Mapping:            place.NewIdentityMapping(n),
+		Routes:             routes,
+		NetModel:           cfg.NetModel,
+		CoreModel:          cfg.CoreModel,
+		Analytic:           cfg.Analytic,
+		NetClockGHz:        cfg.NetClockGHz,
+		Policy:             sched.DefaultStealing,
+		MemRoundTripFactor: cfg.MemRoundTripFactor,
+	}, nil
+}
+
+// NVFIMeshMapped builds the reporting baseline: the same non-VFI mesh but
+// with a traffic-aware thread mapping (contiguous 16-thread groups mapped
+// min-distance into the quadrants), so that VFI-vs-baseline comparisons
+// measure the VFI and interconnect effects rather than a naive identity
+// placement. The profile-gathering pass uses NVFIMesh; this uses its
+// measured traffic.
+func NVFIMeshMapped(cfg BuildConfig, traffic [][]float64) (*System, error) {
+	n := cfg.Chip.NumCores()
+	assign := make([]int, n)
+	for th := range assign {
+		assign[th] = th / (n / 4)
+	}
+	mapping, err := place.MapThreadsMinDistance(cfg.Chip, assign, traffic, cfg.Place.Seed, cfg.Place.MappingSweeps)
+	if err != nil {
+		return nil, err
+	}
+	mesh := topo.Mesh(cfg.Chip)
+	routes, err := noc.BuildRoutes(mesh, cfg.LinkCosts, noc.XY)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:               "nvfi-mesh",
+		Chip:               cfg.Chip,
+		VFI:                platform.Uniform(n, platform.MaxPoint(platform.DefaultDVFSTable())),
+		Mapping:            mapping,
+		Routes:             routes,
+		NetModel:           cfg.NetModel,
+		CoreModel:          cfg.CoreModel,
+		Analytic:           cfg.Analytic,
+		NetClockGHz:        cfg.NetClockGHz,
+		Policy:             sched.DefaultStealing,
+		MemRoundTripFactor: cfg.MemRoundTripFactor,
+	}, nil
+}
+
+// VFIMesh builds a VFI system on the conventional mesh: threads of island j
+// are mapped into quadrant j (min-distance mapping) and the modified
+// stealing policy applies.
+func VFIMesh(cfg BuildConfig, vfi platform.VFIConfig, traffic [][]float64) (*System, error) {
+	if len(vfi.Points) != 4 {
+		return nil, fmt.Errorf("sim: VFI mesh expects 4 islands, got %d", len(vfi.Points))
+	}
+	mapping, err := place.MapThreadsMinDistance(cfg.Chip, vfi.Assign, traffic, cfg.Place.Seed, cfg.Place.MappingSweeps)
+	if err != nil {
+		return nil, err
+	}
+	mesh := topo.Mesh(cfg.Chip)
+	routes, err := noc.BuildRoutes(mesh, cfg.LinkCosts, noc.XY)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:               "vfi-mesh",
+		Chip:               cfg.Chip,
+		VFI:                vfi,
+		Mapping:            mapping,
+		Routes:             routes,
+		NetModel:           cfg.NetModel,
+		CoreModel:          cfg.CoreModel,
+		Analytic:           cfg.Analytic,
+		NetClockGHz:        cfg.NetClockGHz,
+		Policy:             sched.CapVFI,
+		MemRoundTripFactor: cfg.MemRoundTripFactor,
+	}, nil
+}
+
+// VFIWiNoC builds the proposed system: small-world wireline fabric with
+// traffic-apportioned inter-cluster links, 12 wireless interfaces, thread
+// mapping and WI placement per the chosen strategy, up*/down* routing and
+// the modified stealing policy.
+func VFIWiNoC(cfg BuildConfig, vfi platform.VFIConfig, traffic [][]float64, strategy Strategy) (*System, error) {
+	if len(vfi.Points) != 4 {
+		return nil, fmt.Errorf("sim: VFI WiNoC expects 4 islands, got %d", len(vfi.Points))
+	}
+	opts := cfg.Place
+	opts.SmallWorld = cfg.SmallWorld
+	opts.Costs = cfg.LinkCosts
+	opts.Routing = noc.UpDown
+	var res place.Result
+	var err error
+	switch strategy {
+	case MinHop:
+		res, err = place.MinHopCount(cfg.Chip, vfi.Assign, traffic, opts)
+	case MaxWireless:
+		res, err = place.MaxWirelessUtil(cfg.Chip, vfi.Assign, traffic, opts)
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %d", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:               "vfi-winoc-" + strategy.String(),
+		Chip:               cfg.Chip,
+		VFI:                vfi,
+		Mapping:            res.Mapping,
+		Routes:             res.Routes,
+		NetModel:           cfg.NetModel,
+		CoreModel:          cfg.CoreModel,
+		Analytic:           cfg.Analytic,
+		NetClockGHz:        cfg.NetClockGHz,
+		Policy:             sched.CapVFI,
+		MemRoundTripFactor: cfg.MemRoundTripFactor,
+		AdaptiveRouting:    true,
+	}, nil
+}

@@ -1,0 +1,287 @@
+// Package sim is the full-system virtual-time simulator: it executes a
+// benchmark's workload model — phases of compute, memory stalls and
+// inter-thread traffic — on a configured platform (core DVFS state from a
+// VFI plan plus a routed NoC), and reports execution time, energy and EDP
+// per phase.
+//
+// The workload model is the substitution for gem5 full-system simulation
+// (see DESIGN.md): each application in internal/apps is described by the
+// structure the VFI/WiNoC machinery actually consumes — task counts and
+// durations, per-thread phase work, memory intensity, and traffic patterns.
+package sim
+
+import (
+	"fmt"
+)
+
+// PhaseKind is one of the Phoenix++ execution stages of Fig. 1.
+type PhaseKind int
+
+const (
+	LibInit PhaseKind = iota
+	Split
+	Map
+	Reduce
+	Merge
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case LibInit:
+		return "libinit"
+	case Split:
+		return "split"
+	case Map:
+		return "map"
+	case Reduce:
+		return "reduce"
+	case Merge:
+		return "merge"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase describes one execution stage of the workload.
+//
+// A Map phase is executed by the task-stealing scheduler: Tasks tasks with
+// TaskCycles base compute (spread by TaskSpread) and TaskMemOps memory
+// operations each are dealt round-robin over the active threads.
+//
+// Every other phase is a barrier phase: thread i performs WorkCycles[i]
+// compute cycles and MemOps[i] memory operations, and the phase ends when
+// the slowest active thread finishes.
+type Phase struct {
+	Kind PhaseKind
+	// Iteration tags the MapReduce iteration this phase belongs to
+	// (Kmeans and PCA run two iterations).
+	Iteration int
+
+	// Map-phase parameters.
+	Tasks      int
+	TaskCycles float64
+	TaskSpread float64
+	TaskMemOps float64
+	// ActiveThreads lists the threads that participate in a Map phase's
+	// dealing; nil means all threads.
+	ActiveThreads []int
+
+	// Barrier-phase parameters: per-thread compute cycles and memory ops.
+	WorkCycles []float64
+	MemOps     []float64
+
+	// Traffic is the total thread-to-thread flit count exchanged during
+	// the phase (beyond the memory ops, which are modelled as latency).
+	Traffic [][]float64
+}
+
+// Workload is a complete benchmark model.
+type Workload struct {
+	Name string
+	// Threads is the number of worker threads (= cores on this platform).
+	Threads int
+	// Phases in execution order, already flattened across iterations.
+	Phases []Phase
+}
+
+// Validate checks dimensional consistency.
+func (w *Workload) Validate() error {
+	if w.Threads <= 0 {
+		return fmt.Errorf("sim: workload %q has %d threads", w.Name, w.Threads)
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("sim: workload %q has no phases", w.Name)
+	}
+	for i, ph := range w.Phases {
+		if ph.Kind == Map {
+			if ph.Tasks <= 0 || ph.TaskCycles <= 0 {
+				return fmt.Errorf("sim: phase %d (map) needs tasks and cycles", i)
+			}
+			for _, th := range ph.ActiveThreads {
+				if th < 0 || th >= w.Threads {
+					return fmt.Errorf("sim: phase %d active thread %d out of range", i, th)
+				}
+			}
+		} else {
+			if len(ph.WorkCycles) != w.Threads {
+				return fmt.Errorf("sim: phase %d (%v) has %d work entries for %d threads",
+					i, ph.Kind, len(ph.WorkCycles), w.Threads)
+			}
+			if ph.MemOps != nil && len(ph.MemOps) != w.Threads {
+				return fmt.Errorf("sim: phase %d memops length %d", i, len(ph.MemOps))
+			}
+		}
+		if ph.Traffic != nil {
+			if len(ph.Traffic) != w.Threads {
+				return fmt.Errorf("sim: phase %d traffic has %d rows", i, len(ph.Traffic))
+			}
+			for r, row := range ph.Traffic {
+				if len(row) != w.Threads {
+					return fmt.Errorf("sim: phase %d traffic row %d has %d cols", i, r, len(row))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TrafficUniform builds a uniform background traffic matrix: each thread in
+// active sends totalFlits/(n*(n-1)) flits to every other thread — the
+// address-interleaved distributed-L2 pattern.
+func TrafficUniform(threads int, active []int, totalFlits float64) [][]float64 {
+	m := zeroMatrix(threads)
+	if len(active) < 2 {
+		return m
+	}
+	per := totalFlits / float64(len(active)*(len(active)-1))
+	for _, i := range active {
+		for _, j := range active {
+			if i != j {
+				m[i][j] = per
+			}
+		}
+	}
+	return m
+}
+
+// TrafficLocalized models distributed-L2 memory traffic with locality:
+// each active thread sends localFrac of its share to the other active
+// threads of its own blockSize-aligned group (its VFI island's L2 slices)
+// and the remainder uniformly to all other active threads. This reflects
+// the premise of the paper's VFI clustering, which co-locates each thread
+// with the data it touches most.
+func TrafficLocalized(threads int, active []int, totalFlits, localFrac float64, blockSize int) [][]float64 {
+	m := zeroMatrix(threads)
+	if len(active) < 2 {
+		return m
+	}
+	perThread := totalFlits / float64(len(active))
+	// group active threads by block
+	byBlock := map[int][]int{}
+	for _, th := range active {
+		b := th / blockSize
+		byBlock[b] = append(byBlock[b], th)
+	}
+	for _, i := range active {
+		peers := byBlock[i/blockSize]
+		nLocal := len(peers) - 1
+		lf := localFrac
+		if nLocal == 0 {
+			lf = 0 // no local peers: everything goes global
+		} else {
+			per := perThread * lf / float64(nLocal)
+			for _, j := range peers {
+				if j != i {
+					m[i][j] += per
+				}
+			}
+		}
+		per := perThread * (1 - lf) / float64(len(active)-1)
+		for _, j := range active {
+			if j != i {
+				m[i][j] += per
+			}
+		}
+	}
+	return m
+}
+
+// TrafficKeyExchange models Reduce-time key/value redistribution: every
+// active thread scatters its share to key-owner threads; ownership is
+// spread over all active threads, so the pattern is all-to-all but scaled
+// by the key count (more keys, more traffic).
+func TrafficKeyExchange(threads int, active []int, flitsPerThread float64) [][]float64 {
+	m := zeroMatrix(threads)
+	if len(active) < 2 {
+		return m
+	}
+	per := flitsPerThread / float64(len(active)-1)
+	for _, i := range active {
+		for _, j := range active {
+			if i != j {
+				m[i][j] = per
+			}
+		}
+	}
+	return m
+}
+
+// TrafficNeighbor models Linear Regression's "exchanges large data units
+// with nearer cores" pattern: each active thread sends flitsPerThread to
+// its radius nearest neighbours (by thread id, wrapping).
+func TrafficNeighbor(threads int, active []int, flitsPerThread float64, radius int) [][]float64 {
+	m := zeroMatrix(threads)
+	if len(active) < 2 || radius < 1 {
+		return m
+	}
+	per := flitsPerThread / float64(2*radius)
+	for idx, i := range active {
+		for d := 1; d <= radius; d++ {
+			j := active[(idx+d)%len(active)]
+			k := active[(idx-d+len(active))%len(active)]
+			if i != j {
+				m[i][j] += per
+			}
+			if i != k {
+				m[i][k] += per
+			}
+		}
+	}
+	return m
+}
+
+// TrafficConvergent models a Merge stage: each sender thread ships its
+// partial result to its merge partner (pair i -> i-step), concentrating
+// traffic toward thread 0 as stages progress.
+func TrafficConvergent(threads int, senders, receivers []int, flitsPerSender float64) [][]float64 {
+	m := zeroMatrix(threads)
+	for i, s := range senders {
+		if i < len(receivers) && s != receivers[i] {
+			m[s][receivers[i]] += flitsPerSender
+		}
+	}
+	return m
+}
+
+// TrafficMaster models library initialization and Split: the master thread
+// broadcasts task descriptors and storage pointers to every other thread.
+func TrafficMaster(threads, master int, flitsPerThread float64) [][]float64 {
+	m := zeroMatrix(threads)
+	for j := 0; j < threads; j++ {
+		if j != master {
+			m[master][j] = flitsPerThread
+			m[j][master] = flitsPerThread * 0.25 // acks
+		}
+	}
+	return m
+}
+
+// AddTraffic sums matrices b into a (a is modified and returned; matrices
+// must agree in size).
+func AddTraffic(a [][]float64, bs ...[][]float64) [][]float64 {
+	for _, b := range bs {
+		for i := range a {
+			for j := range a[i] {
+				a[i][j] += b[i][j]
+			}
+		}
+	}
+	return a
+}
+
+func zeroMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// AllThreads returns [0, 1, ..., n-1].
+func AllThreads(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package stats provides the small set of descriptive statistics used by the
+// VFI clustering flow and the experiment reporting: means, variances,
+// quantiles over sorted copies, and max-normalization of vectors and
+// matrices. All functions are deterministic and allocate at most one copy of
+// their input.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice so
+// that utilization accounting over empty core sets is well defined.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1).
+// The clustering objective in Eq. 1 of the paper sums squared deviations from
+// a fixed target mean, which corresponds to population semantics.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice: every
+// caller in this repository operates on fixed, non-empty core sets, so an
+// empty input is a programming error rather than a data condition.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. Like Min it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics, matching the common "type 7"
+// definition. It copies and sorts the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// QuartileMeans partitions xs (after sorting ascending) into m equally sized
+// contiguous groups and returns the mean of each group, lowest group first.
+// This implements the ū_j targets of Eq. 1: "the mean in each m-quartile of
+// the utilization values". len(xs) must be divisible by m.
+func QuartileMeans(xs []float64, m int) []float64 {
+	if m <= 0 {
+		panic("stats: QuartileMeans needs m > 0")
+	}
+	if len(xs)%m != 0 {
+		panic(fmt.Sprintf("stats: %d values not divisible into %d groups", len(xs), m))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	size := len(s) / m
+	means := make([]float64, m)
+	for j := 0; j < m; j++ {
+		means[j] = Mean(s[j*size : (j+1)*size])
+	}
+	return means
+}
+
+// NormalizeMax divides every element of xs by the maximum element and
+// returns the result as a new slice. If the maximum is zero the input is
+// returned copied unchanged (an all-zero vector stays all-zero). The paper
+// normalizes both the utilization vector u and the traffic matrix f by their
+// maxima before forming the clustering objective.
+func NormalizeMax(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	if len(out) == 0 {
+		return out
+	}
+	m := Max(out)
+	if m == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= m
+	}
+	return out
+}
+
+// NormalizeMatrixMax divides every element of the matrix by the global
+// maximum element, returning a newly allocated matrix. A zero matrix is
+// returned copied unchanged.
+func NormalizeMatrixMax(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	var max float64
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		return out
+	}
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] /= max
+		}
+	}
+	return out
+}
+
+// ArgSortDescending returns the indices of xs ordered by descending value.
+// Ties are broken by ascending index so the order is deterministic.
+func ArgSortDescending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] > xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// GeometricMean returns the geometric mean of xs. All elements must be
+// positive; the experiment summaries use it to average normalized EDP ratios.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeometricMean needs positive values, got %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := Sum(xs); got != 9 {
+		t.Errorf("Sum = %v, want 9", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(empty) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(empty) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Errorf("Quantile singleton = %v, want 42", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileRejectsBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(q=2) did not panic")
+		}
+	}()
+	Quantile([]float64{1, 2}, 2)
+}
+
+func TestQuartileMeans(t *testing.T) {
+	xs := []float64{8, 1, 5, 4, 7, 2, 6, 3} // sorted: 1..8
+	got := QuartileMeans(xs, 4)
+	want := []float64{1.5, 3.5, 5.5, 7.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("QuartileMeans[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuartileMeansSingleGroup(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	got := QuartileMeans(xs, 1)
+	if len(got) != 1 || !almostEqual(got[0], 4, 1e-12) {
+		t.Errorf("QuartileMeans m=1 = %v, want [4]", got)
+	}
+}
+
+func TestQuartileMeansPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuartileMeans(5 values, 4 groups) did not panic")
+		}
+	}()
+	QuartileMeans([]float64{1, 2, 3, 4, 5}, 4)
+}
+
+func TestNormalizeMax(t *testing.T) {
+	got := NormalizeMax([]float64{2, 4, 8})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("NormalizeMax[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeMaxZeroVector(t *testing.T) {
+	got := NormalizeMax([]float64{0, 0})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("NormalizeMax zero vector = %v", got)
+	}
+}
+
+func TestNormalizeMatrixMax(t *testing.T) {
+	in := [][]float64{{1, 2}, {4, 0}}
+	got := NormalizeMatrixMax(in)
+	want := [][]float64{{0.25, 0.5}, {1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEqual(got[i][j], want[i][j], 1e-12) {
+				t.Errorf("NormalizeMatrixMax[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if in[1][0] != 4 {
+		t.Error("NormalizeMatrixMax mutated its input")
+	}
+}
+
+func TestArgSortDescending(t *testing.T) {
+	xs := []float64{0.2, 0.9, 0.9, 0.1}
+	got := ArgSortDescending(xs)
+	want := []int{1, 2, 0, 3} // stable: index 1 before 2 on tie
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ArgSortDescending = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeometricMean = %v, want 2", got)
+	}
+	if got := GeometricMean(nil); got != 0 {
+		t.Errorf("GeometricMean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeometricMeanRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeometricMean with zero did not panic")
+		}
+	}()
+	GeometricMean([]float64{1, 0})
+}
+
+// Property: the mean always lies between min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeMax output is within [0,1] for non-negative input and
+// the maximum element maps to exactly 1 (unless all-zero).
+func TestNormalizeMaxRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		out := NormalizeMax(xs)
+		sawOne := false
+		for _, v := range out {
+			if v < 0 || v > 1+1e-12 {
+				t.Fatalf("normalized value %v out of range", v)
+			}
+			if almostEqual(v, 1, 1e-12) {
+				sawOne = true
+			}
+		}
+		if !sawOne {
+			t.Fatalf("no element normalized to 1 in %v", out)
+		}
+	}
+}
+
+// Property: QuartileMeans are monotonically non-decreasing.
+func TestQuartileMeansMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(8)
+		n := m * (1 + rng.Intn(10))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		means := QuartileMeans(xs, m)
+		for j := 1; j < len(means); j++ {
+			if means[j] < means[j-1]-1e-12 {
+				t.Fatalf("QuartileMeans not monotone: %v", means)
+			}
+		}
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				t.Fatalf("quantile decreased at q=%v: %v < %v", q, v, prev)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package vfi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wivfi/internal/platform"
+)
+
+// syntheticProfile builds an n-core profile with per-core utilizations and
+// a ring traffic pattern.
+func syntheticProfile(util []float64) platform.Profile {
+	n := len(util)
+	traffic := make([][]float64, n)
+	for i := range traffic {
+		traffic[i] = make([]float64, n)
+		traffic[i][(i+1)%n] = 1
+	}
+	return platform.Profile{Util: util, Traffic: traffic}
+}
+
+func TestBuildProblemNormalizes(t *testing.T) {
+	p := syntheticProfile([]float64{0.2, 0.4, 0.6, 0.8})
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	prob, err := BuildProblem(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N != 4 || prob.M != 2 {
+		t.Fatalf("problem dims %dx%d", prob.N, prob.M)
+	}
+	// utilization normalized by max (0.8)
+	if math.Abs(prob.Util[3]-1) > 1e-12 || math.Abs(prob.Util[0]-0.25) > 1e-12 {
+		t.Errorf("normalized util = %v", prob.Util)
+	}
+	// target means: quartile means of normalized utils {0.25,0.5,0.75,1}
+	if math.Abs(prob.TargetMeans[0]-0.375) > 1e-12 || math.Abs(prob.TargetMeans[1]-0.875) > 1e-12 {
+		t.Errorf("target means = %v", prob.TargetMeans)
+	}
+	if prob.Wc != 1 || prob.Wu != 1 {
+		t.Errorf("weights = %v,%v, want 1,1", prob.Wc, prob.Wu)
+	}
+}
+
+func TestBuildProblemRejectsIndivisible(t *testing.T) {
+	p := syntheticProfile([]float64{0.2, 0.4, 0.6})
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	if _, err := BuildProblem(p, opts); err == nil {
+		t.Error("3 cores into 2 islands accepted")
+	}
+}
+
+func TestBuildProblemRejectsInvalidProfile(t *testing.T) {
+	p := platform.Profile{Util: []float64{2.0}, Traffic: [][]float64{{0}}}
+	if _, err := BuildProblem(p, DefaultOptions()); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestClusterCanonicalOrder(t *testing.T) {
+	// 8 cores, 2 islands; utilizations split clearly into low and high.
+	util := []float64{0.9, 0.85, 0.2, 0.25, 0.88, 0.15, 0.22, 0.92}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	assign, cost, err := Cluster(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v, want positive", cost)
+	}
+	// island 0 must be the low-utilization island after canonicalization
+	var mean0, mean1 float64
+	var n0, n1 int
+	for core, isl := range assign {
+		if isl == 0 {
+			mean0 += util[core]
+			n0++
+		} else {
+			mean1 += util[core]
+			n1++
+		}
+	}
+	if n0 != 4 || n1 != 4 {
+		t.Fatalf("island sizes %d,%d", n0, n1)
+	}
+	if mean0/4 >= mean1/4 {
+		t.Errorf("island 0 mean %v not below island 1 mean %v", mean0/4, mean1/4)
+	}
+}
+
+func TestAssignVFQuantization(t *testing.T) {
+	// Two islands with means 0.2 and 0.7; margin 0.35 gives targets 0.55
+	// and 1.0 (clamped) of fmax=2.5: 1.375 -> 1.5 GHz and 2.5 GHz.
+	util := []float64{0.2, 0.2, 0.7, 0.7}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	assign := []int{0, 0, 1, 1}
+	points := AssignVF(p, assign, opts)
+	if points[0].FreqGHz != 1.5 {
+		t.Errorf("island 0 at %v GHz, want 1.5", points[0].FreqGHz)
+	}
+	if points[1].FreqGHz != 2.5 {
+		t.Errorf("island 1 at %v GHz, want 2.5", points[1].FreqGHz)
+	}
+	// band checks at the margin-0.35 ladder: u=0.40 -> 1.875 -> 2.0 GHz;
+	// u=0.50 -> 2.125 -> 2.25 GHz
+	util2 := []float64{0.40, 0.40, 0.50, 0.50}
+	p2 := syntheticProfile(util2)
+	pts2 := AssignVF(p2, []int{0, 0, 1, 1}, opts)
+	if pts2[0].FreqGHz != 2.0 || pts2[1].FreqGHz != 2.25 {
+		t.Errorf("band quantization = %v/%v GHz, want 2.0/2.25", pts2[0].FreqGHz, pts2[1].FreqGHz)
+	}
+}
+
+func TestAssignVFClampsFullyBusy(t *testing.T) {
+	util := []float64{1, 1, 1, 1}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	points := AssignVF(p, []int{0, 0, 1, 1}, opts)
+	for _, pt := range points {
+		if pt.FreqGHz != 2.5 {
+			t.Errorf("fully busy island at %v GHz, want 2.5", pt.FreqGHz)
+		}
+	}
+}
+
+func TestDetectBottlenecks(t *testing.T) {
+	util := []float64{0.5, 0.5, 0.5, 0.95} // mean ~0.6125
+	got := DetectBottlenecks(util, 1.25)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("bottlenecks = %v, want [3]", got)
+	}
+	if got := DetectBottlenecks([]float64{0.5, 0.5}, 1.25); len(got) != 0 {
+		t.Errorf("flat profile produced bottlenecks %v", got)
+	}
+}
+
+func TestIsHomogeneous(t *testing.T) {
+	// flat background with one hot master: homogeneous once master removed
+	util := make([]float64, 16)
+	for i := range util {
+		util[i] = 0.6
+	}
+	util[0] = 0.95
+	if !IsHomogeneous(util, []int{0}, 0.30) {
+		t.Error("flat-plus-master pattern should be homogeneous")
+	}
+	// spread pattern: heterogeneous
+	rng := rand.New(rand.NewSource(1))
+	for i := range util {
+		util[i] = 0.1 + 0.8*rng.Float64()
+	}
+	if IsHomogeneous(util, nil, 0.30) {
+		t.Error("wide uniform spread should be heterogeneous")
+	}
+	if IsHomogeneous(nil, nil, 0.30) {
+		t.Error("empty profile cannot be homogeneous")
+	}
+	if IsHomogeneous([]float64{0, 0}, nil, 0.30) {
+		t.Error("all-idle profile cannot be homogeneous")
+	}
+}
+
+func TestReassignRaisesBottleneckIsland(t *testing.T) {
+	// 8 cores, 2 islands. Background util 0.6, core 5 is a hot master in
+	// island 0 (the slow island).
+	util := []float64{0.6, 0.6, 0.6, 0.6, 0.6, 0.95, 0.6, 0.6}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	cfg := platform.VFIConfig{
+		Assign: []int{0, 0, 0, 1, 1, 0, 1, 1},
+		Points: []platform.OperatingPoint{{VoltageV: 0.9, FreqGHz: 2.25}, {VoltageV: 1.0, FreqGHz: 2.5}},
+	}
+	out, bottlenecks, raised, homog := Reassign(cfg, p, opts)
+	if !homog {
+		t.Fatal("pattern should be homogeneous")
+	}
+	if len(bottlenecks) != 1 || bottlenecks[0] != 5 {
+		t.Fatalf("bottlenecks = %v", bottlenecks)
+	}
+	if len(raised) != 1 || raised[0] != 0 {
+		t.Fatalf("raised islands = %v, want [0]", raised)
+	}
+	if out.Points[0].FreqGHz != 2.5 || out.Points[0].VoltageV != 1.0 {
+		t.Errorf("island 0 raised to %v, want 1.0/2.5", out.Points[0])
+	}
+	if out.Points[1] != cfg.Points[1] {
+		t.Error("island 1 should be unchanged")
+	}
+	// core placement untouched (traffic patterns preserved)
+	for i := range cfg.Assign {
+		if out.Assign[i] != cfg.Assign[i] {
+			t.Fatal("Reassign moved cores between islands")
+		}
+	}
+	// original config untouched
+	if cfg.Points[0].FreqGHz != 2.25 {
+		t.Error("Reassign mutated its input config")
+	}
+}
+
+func TestReassignSkipsHeterogeneousPattern(t *testing.T) {
+	// Kmeans-like spread: bottlenecks exist but the pattern is heterogeneous,
+	// so no re-assignment happens (Section 4.2: Kmeans places its hot cores
+	// in high-V/F islands by itself).
+	util := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.99}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	cfg := platform.VFIConfig{
+		Assign: []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Points: []platform.OperatingPoint{{VoltageV: 0.6, FreqGHz: 1.5}, {VoltageV: 0.8, FreqGHz: 2.0}},
+	}
+	out, _, raised, homog := Reassign(cfg, p, opts)
+	if homog {
+		t.Error("spread pattern misclassified as homogeneous")
+	}
+	if len(raised) != 0 {
+		t.Errorf("raised = %v, want none", raised)
+	}
+	for j := range out.Points {
+		if out.Points[j] != cfg.Points[j] {
+			t.Error("points changed despite heterogeneous pattern")
+		}
+	}
+}
+
+func TestReassignNoBottlenecks(t *testing.T) {
+	// LR-like: flat utilization, no bottleneck cores at all.
+	util := []float64{0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	cfg := platform.VFIConfig{
+		Assign: []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Points: []platform.OperatingPoint{{VoltageV: 0.9, FreqGHz: 2.25}, {VoltageV: 0.9, FreqGHz: 2.25}},
+	}
+	_, bottlenecks, raised, _ := Reassign(cfg, p, opts)
+	if len(bottlenecks) != 0 || len(raised) != 0 {
+		t.Errorf("flat profile: bottlenecks=%v raised=%v", bottlenecks, raised)
+	}
+}
+
+func TestReassignAlreadyAtMax(t *testing.T) {
+	util := []float64{0.6, 0.6, 0.6, 0.95, 0.6, 0.6, 0.6, 0.6}
+	p := syntheticProfile(util)
+	opts := DefaultOptions()
+	opts.NumIslands = 2
+	cfg := platform.VFIConfig{
+		Assign: []int{0, 0, 0, 1, 1, 0, 1, 1},
+		Points: []platform.OperatingPoint{{VoltageV: 0.9, FreqGHz: 2.25}, {VoltageV: 1.0, FreqGHz: 2.5}},
+	}
+	// bottleneck core 3 already sits in the max island
+	_, _, raised, _ := Reassign(cfg, p, opts)
+	if len(raised) != 0 {
+		t.Errorf("raised = %v, want none (bottleneck already at max)", raised)
+	}
+}
+
+func TestDesignEndToEnd(t *testing.T) {
+	// 16 cores, 4 islands: nearly homogeneous background 0.6 with a master
+	// at 0.95 that talks heavily with the low-util group, pulling it into a
+	// slow island — the exact scenario motivating VFI 2.
+	n := 16
+	util := make([]float64, n)
+	for i := range util {
+		util[i] = 0.55 + 0.01*float64(i%4)
+	}
+	util[0] = 0.95
+	traffic := make([][]float64, n)
+	for i := range traffic {
+		traffic[i] = make([]float64, n)
+	}
+	// master talks intensely to cores 12..15 (low-ish group)
+	for _, p := range []int{12, 13, 14, 15} {
+		traffic[0][p] = 10
+		traffic[p][0] = 10
+	}
+	// background neighbour traffic
+	for i := 0; i < n; i++ {
+		traffic[i][(i+1)%n] += 0.2
+	}
+	prof := platform.Profile{Util: util, Traffic: traffic}
+	opts := DefaultOptions()
+	plan, err := Design(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.VFI1.Validate(); err != nil {
+		t.Fatalf("VFI1 invalid: %v", err)
+	}
+	if err := plan.VFI2.Validate(); err != nil {
+		t.Fatalf("VFI2 invalid: %v", err)
+	}
+	if len(plan.Bottlenecks) == 0 || plan.Bottlenecks[0] != 0 {
+		t.Fatalf("bottlenecks = %v, want [0]", plan.Bottlenecks)
+	}
+	if !plan.HomogeneousPattern {
+		t.Fatal("pattern should be homogeneous")
+	}
+	// The master must be pulled into the island of its traffic partners.
+	isl := plan.VFI1.Assign[0]
+	partners := 0
+	for _, p := range []int{12, 13, 14, 15} {
+		if plan.VFI1.Assign[p] == isl {
+			partners++
+		}
+	}
+	if partners < 3 {
+		t.Errorf("master shares island with only %d of 4 traffic partners", partners)
+	}
+	// VFI2 must run the master's island at the table max.
+	if got := plan.VFI2.Points[isl]; got.FreqGHz != 2.5 {
+		t.Errorf("master island at %v GHz in VFI2, want 2.5", got.FreqGHz)
+	}
+	// All VFI2 islands at least as fast as VFI1.
+	for j := range plan.VFI1.Points {
+		if plan.VFI2.Points[j].FreqGHz < plan.VFI1.Points[j].FreqGHz {
+			t.Errorf("island %d slowed down in VFI2", j)
+		}
+	}
+}
+
+func TestDesignDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 32
+	util := make([]float64, n)
+	for i := range util {
+		util[i] = rng.Float64()
+	}
+	traffic := make([][]float64, n)
+	for i := range traffic {
+		traffic[i] = make([]float64, n)
+		for j := range traffic[i] {
+			if i != j {
+				traffic[i][j] = rng.Float64()
+			}
+		}
+	}
+	prof := platform.Profile{Util: util, Traffic: traffic}
+	a, err := Design(prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Design(prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.VFI1.Assign {
+		if a.VFI1.Assign[i] != b.VFI1.Assign[i] {
+			t.Fatal("Design is not deterministic")
+		}
+	}
+	if a.ClusterCost != b.ClusterCost {
+		t.Fatal("cluster cost not deterministic")
+	}
+}
+
+// Property: canonicalized islands have non-decreasing mean utilization.
+func TestCanonicalizeOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n, m := 16, 4
+		util := make([]float64, n)
+		for i := range util {
+			util[i] = rng.Float64()
+		}
+		assign := make([]int, n)
+		perm := rng.Perm(n)
+		for rank, core := range perm {
+			assign[core] = rank / (n / m)
+		}
+		canon := canonicalize(assign, util, m)
+		sums := make([]float64, m)
+		counts := make([]int, m)
+		for core, isl := range canon {
+			sums[isl] += util[core]
+			counts[isl]++
+		}
+		prev := -1.0
+		for j := 0; j < m; j++ {
+			mean := sums[j] / float64(counts[j])
+			if mean < prev-1e-12 {
+				t.Fatalf("island means not ascending: %v at %d after %v", mean, j, prev)
+			}
+			prev = mean
+		}
+	}
+}
