@@ -37,7 +37,7 @@ func benchSuite(b *testing.B) *expt.Suite {
 	suiteOnce.Do(func() {
 		suite = expt.NewSuite(expt.DefaultConfig())
 		// warm every pipeline so per-figure benchmarks measure the driver
-		if err := suite.ForEach(func(*expt.Pipeline) error { return nil }); err != nil {
+		if err := suite.Prewarm(expt.AppOrder...); err != nil {
 			b.Fatal(err)
 		}
 	})

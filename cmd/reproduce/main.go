@@ -4,20 +4,28 @@
 //
 // Usage:
 //
-//	reproduce [-table1] [-table2] [-fig2] [-fig4] [-fig5] [-fig6]
-//	          [-fig7] [-fig8] [-kintra] [-stealing] [-summary]
+//	reproduce [-j N] [-cache dir] [-table1] [-table2] [-fig2] [-fig4]
+//	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
+//	          [-summary]
+//
+// -j bounds the number of concurrent simulations (default GOMAXPROCS);
+// output is byte-identical whatever the value. -cache points at the design
+// cache directory ("auto" = the user cache dir, "" = disabled).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"wivfi/internal/expt"
 )
 
 func main() {
 	var (
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "auto", `design cache dir ("auto" = user cache dir, "" = disabled)`)
 		table1   = flag.Bool("table1", false, "Table 1: benchmarks and datasets")
 		table2   = flag.Bool("table2", false, "Table 2: V/F assignments")
 		fig2     = flag.Bool("fig2", false, "Fig. 2: core utilization distributions")
@@ -37,10 +45,53 @@ func main() {
 	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
 		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
 
-	suite := expt.NewSuite(expt.DefaultConfig())
+	if *jobs <= 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
+	cacheDir := *cache
+	if cacheDir == "auto" {
+		cacheDir = expt.DefaultCacheDir()
+	}
+	suite := expt.NewSuite(expt.DefaultConfig(),
+		expt.WithParallelism(*jobs), expt.WithCacheDir(cacheDir))
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Build every pipeline this invocation needs up front, -j wide; the
+	// drivers below then render from warm pipelines in a fixed order.
+	var prewarm []string
+	switch {
+	case all || *table2 || *fig6 || *fig7 || *fig8 || *kintra || *phased || *summary:
+		prewarm = expt.AppOrder
+	default:
+		seen := map[string]bool{}
+		add := func(names ...string) {
+			for _, n := range names {
+				if !seen[n] {
+					seen[n] = true
+					prewarm = append(prewarm, n)
+				}
+			}
+		}
+		if *fig2 {
+			add(expt.Fig2Apps...)
+		}
+		if *fig4 || *fig5 {
+			add(expt.Fig4Apps...)
+		}
+		if *wifail {
+			add("wc")
+		}
+		if *margins {
+			add("kmeans")
+		}
+	}
+	if len(prewarm) > 0 {
+		if err := suite.Prewarm(prewarm...); err != nil {
+			fail(err)
+		}
 	}
 
 	if all || *table1 {

@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d unique words from %d records on %d workers (%d tasks, %d steals):\n",
-		stats.UniqueKeys, stats.RecordsMaped, stats.Workers, stats.Tasks, stats.Steals)
+		stats.UniqueKeys, stats.RecordsMapped, stats.Workers, stats.Tasks, stats.Steals)
 	for _, p := range res.Pairs {
 		if p.Value > 1 {
 			fmt.Printf("  %-8s x%d\n", p.Key, p.Value)

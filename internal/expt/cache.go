@@ -1,0 +1,163 @@
+package expt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wivfi/internal/platform"
+	"wivfi/internal/vfi"
+)
+
+// The design cache persists the two expensive, simulation-independent
+// artifacts of a pipeline — the profiling run's platform.Profile and the
+// vfi.Plan — keyed by a hash of the full experiment Config plus the
+// benchmark name. Everything downstream (baseline and VFI system runs) is
+// deterministic given those artifacts, so a cache hit reproduces the exact
+// pipeline while skipping the probe simulation and the clustering anneal.
+//
+// Invalidation is purely key-based: any change to the Config (platform,
+// models, VFI options) or to the schema version below produces a new key,
+// and stale entries are simply never read again. Deleting the cache
+// directory is always safe.
+
+// cacheSchemaVersion is folded into every cache key; bump it when the
+// meaning of the cached artifacts changes (e.g. the profile definition or
+// the design flow itself).
+const cacheSchemaVersion = 1
+
+// planMeta is the on-disk schema for the vfi.Plan fields that are not
+// covered by the two VFIConfig files.
+type planMeta struct {
+	Version            int     `json:"version"`
+	Bottlenecks        []int   `json:"bottlenecks"`
+	RaisedIslands      []int   `json:"raised_islands"`
+	ClusterCost        float64 `json:"cluster_cost"`
+	HomogeneousPattern bool    `json:"homogeneous_pattern"`
+}
+
+// cacheKey hashes the configuration and benchmark name into the cache
+// entry's directory name. Config is a tree of plain structs, so its JSON
+// form is canonical (struct fields encode in declaration order).
+func cacheKey(cfg Config, appName string) (string, error) {
+	blob, err := json.Marshal(struct {
+		Schema int
+		App    string
+		Config Config
+	}{cacheSchemaVersion, appName, cfg})
+	if err != nil {
+		return "", fmt.Errorf("expt: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// entryDir is the directory holding one cache entry's files.
+func entryDir(cacheDir string, cfg Config, appName string) (string, error) {
+	key, err := cacheKey(cfg, appName)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(cacheDir, appName+"-"+key), nil
+}
+
+// loadDesign returns the cached (profile, plan) for the key, with ok=false
+// on any miss: absent entry, unreadable file, schema mismatch or
+// validation failure. A damaged entry is treated as a miss (and will be
+// rewritten), never as an error.
+func loadDesign(cacheDir string, cfg Config, appName string) (platform.Profile, vfi.Plan, bool) {
+	dir, err := entryDir(cacheDir, cfg, appName)
+	if err != nil {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	prof, err := platform.LoadProfile(filepath.Join(dir, "profile.json"))
+	if err != nil {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	vfi1, err := platform.LoadVFIConfig(filepath.Join(dir, "vfi1.json"))
+	if err != nil {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	vfi2, err := platform.LoadVFIConfig(filepath.Join(dir, "vfi2.json"))
+	if err != nil {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "plan.json"))
+	if err != nil {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	var meta planMeta
+	if err := json.Unmarshal(raw, &meta); err != nil || meta.Version != cacheSchemaVersion {
+		return platform.Profile{}, vfi.Plan{}, false
+	}
+	plan := vfi.Plan{
+		VFI1:               vfi1,
+		VFI2:               vfi2,
+		Bottlenecks:        meta.Bottlenecks,
+		RaisedIslands:      meta.RaisedIslands,
+		ClusterCost:        meta.ClusterCost,
+		HomogeneousPattern: meta.HomogeneousPattern,
+	}
+	return prof, plan, true
+}
+
+// saveDesign writes one cache entry, best-effort: it returns the first
+// error for observability (tests, logging) but callers may ignore it — a
+// failed write only costs future recomputation. Files are written
+// atomically and the entry directory is created on demand, so concurrent
+// writers of the same key converge on identical content.
+func saveDesign(cacheDir string, cfg Config, appName string, prof platform.Profile, plan vfi.Plan) error {
+	dir, err := entryDir(cacheDir, cfg, appName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := platform.SaveProfile(filepath.Join(dir, "profile.json"), prof); err != nil {
+		return err
+	}
+	if err := platform.SaveVFIConfig(filepath.Join(dir, "vfi1.json"), plan.VFI1); err != nil {
+		return err
+	}
+	if err := platform.SaveVFIConfig(filepath.Join(dir, "vfi2.json"), plan.VFI2); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(planMeta{
+		Version:            cacheSchemaVersion,
+		Bottlenecks:        plan.Bottlenecks,
+		RaisedIslands:      plan.RaisedIslands,
+		ClusterCost:        plan.ClusterCost,
+		HomogeneousPattern: plan.HomogeneousPattern,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-plan-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "plan.json"))
+}
+
+// DefaultCacheDir returns the conventional location of the design cache
+// (under the user cache directory), or "" when no user cache directory is
+// available — callers treat "" as cache-disabled.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "wivfi", "pipelines")
+}

@@ -1,0 +1,127 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestDesignCacheRoundTrip(t *testing.T) {
+	s := sharedSuite(t)
+	pl, err := s.Pipeline("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := saveDesign(dir, s.Config, "mm", pl.Profile, pl.Plan); err != nil {
+		t.Fatal(err)
+	}
+	prof, plan, ok := loadDesign(dir, s.Config, "mm")
+	if !ok {
+		t.Fatal("cache miss immediately after save")
+	}
+	if !reflect.DeepEqual(prof, pl.Profile) {
+		t.Error("profile changed across the cache round trip")
+	}
+	if !reflect.DeepEqual(plan, pl.Plan) {
+		t.Errorf("plan changed across the cache round trip:\nsaved:  %+v\nloaded: %+v", pl.Plan, plan)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	cfg := DefaultConfig()
+	base, err := cacheKey(cfg, "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherApp, err := cacheKey(cfg, "wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == otherApp {
+		t.Error("different benchmarks share a cache key")
+	}
+	cfg2 := cfg
+	cfg2.VFI.FreqMargin += 0.01
+	otherCfg, err := cacheKey(cfg2, "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == otherCfg {
+		t.Error("changing the config did not change the cache key")
+	}
+	again, err := cacheKey(DefaultConfig(), "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Error("cache key not stable for identical inputs")
+	}
+}
+
+func TestCorruptCacheEntryIsAMiss(t *testing.T) {
+	s := sharedSuite(t)
+	pl, err := s.Pipeline("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := saveDesign(dir, s.Config, "mm", pl.Profile, pl.Plan); err != nil {
+		t.Fatal(err)
+	}
+	ed, err := entryDir(dir, s.Config, "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ed, "plan.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := loadDesign(dir, s.Config, "mm"); ok {
+		t.Error("corrupt plan.json treated as a cache hit")
+	}
+}
+
+// TestSuiteUsesDesignCache: a second suite sharing a cache directory skips
+// the probe run and anneal (FromCache) yet reproduces the exact results of
+// the suite that populated it.
+func TestSuiteUsesDesignCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a pipeline twice")
+	}
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+
+	s1 := NewSuite(cfg, WithCacheDir(dir))
+	pl1, err := s1.Pipeline("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.FromCache {
+		t.Error("cold cache reported a hit")
+	}
+
+	s2 := NewSuite(cfg, WithCacheDir(dir))
+	pl2, err := s2.Pipeline("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl2.FromCache {
+		t.Fatal("warm cache missed")
+	}
+	if !reflect.DeepEqual(pl2.Plan, pl1.Plan) {
+		t.Error("cached plan differs from the computed plan")
+	}
+	if !reflect.DeepEqual(pl2.Profile, pl1.Profile) {
+		t.Error("cached profile differs from the computed profile")
+	}
+	if !reflect.DeepEqual(pl2.Baseline.Report, pl1.Baseline.Report) {
+		t.Error("baseline run differs when built from the cache")
+	}
+	if !reflect.DeepEqual(pl2.VFI2Mesh.Report, pl1.VFI2Mesh.Report) {
+		t.Error("VFI2 mesh run differs when built from the cache")
+	}
+	if pl2.BestStrategy != pl1.BestStrategy {
+		t.Errorf("best strategy flipped from %v to %v under the cache", pl1.BestStrategy, pl2.BestStrategy)
+	}
+}

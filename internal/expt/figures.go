@@ -23,6 +23,9 @@ var Fig2Apps = []string{"kmeans", "pca", "mm", "hist"}
 
 // Fig2 reproduces the utilization distributions.
 func (s *Suite) Fig2() ([]Fig2Row, error) {
+	if err := s.Prewarm(Fig2Apps...); err != nil {
+		return nil, err
+	}
 	var rows []Fig2Row
 	for _, name := range Fig2Apps {
 		pl, err := s.Pipeline(name)
@@ -67,6 +70,9 @@ var Fig4Apps = []string{"pca", "hist", "mm"}
 
 // Fig4 reproduces the VFI 1 vs VFI 2 comparison.
 func (s *Suite) Fig4() ([]Fig4Row, error) {
+	if err := s.Prewarm(Fig4Apps...); err != nil {
+		return nil, err
+	}
 	var rows []Fig4Row
 	for _, name := range Fig4Apps {
 		pl, err := s.Pipeline(name)
@@ -104,6 +110,9 @@ type Fig5Row struct {
 
 // Fig5 reproduces the bottleneck-core comparison for PCA, HIST and MM.
 func (s *Suite) Fig5() ([]Fig5Row, error) {
+	if err := s.Prewarm(Fig4Apps...); err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
 	for _, name := range Fig4Apps { // same three applications
 		pl, err := s.Pipeline(name)

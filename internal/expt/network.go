@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wivfi/internal/sim"
 	"wivfi/internal/topo"
@@ -69,37 +70,59 @@ type KIntraRow struct {
 }
 
 // KIntraSweep reproduces the (3,1)-vs-(2,2) finding: the paper reports
-// (3,1) always performs better.
+// (3,1) always performs better. The twelve (app × configuration) WiNoC
+// simulations are independent, so they fan out over the suite's pool; the
+// row order stays AppOrder regardless of completion order.
 func (s *Suite) KIntraSweep() ([]KIntraRow, error) {
-	var rows []KIntraRow
-	err := s.ForEach(func(pl *Pipeline) error {
-		row := KIntraRow{App: pl.App.Name}
-		for _, variant := range []struct {
-			kIntra, kInter float64
-			edp            *float64
-			exec           *float64
-		}{
-			{3, 1, &row.EDP31, &row.Exec31},
-			{2, 2, &row.EDP22, &row.Exec22},
-		} {
-			cfg := s.Config.Build
-			cfg.SmallWorld.KIntra = variant.kIntra
-			cfg.SmallWorld.KInter = variant.kInter
-			sys, err := sim.VFIWiNoC(cfg, pl.Plan.VFI2, pl.Profile.Traffic, pl.BestStrategy)
-			if err != nil {
-				return err
-			}
-			res, err := sim.Run(pl.Workload, sys)
-			if err != nil {
-				return err
-			}
-			*variant.edp = networkEDP(res)
-			*variant.exec = res.Report.ExecSeconds
+	if err := s.Prewarm(AppOrder...); err != nil {
+		return nil, err
+	}
+	rows := make([]KIntraRow, len(AppOrder))
+	variants := []struct{ kIntra, kInter float64 }{{3, 1}, {2, 2}}
+	errs := make([]error, len(AppOrder)*len(variants))
+	var wg sync.WaitGroup
+	for i, name := range AppOrder {
+		pl, err := s.Pipeline(name)
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, row)
-		return nil
-	})
-	return rows, err
+		rows[i].App = pl.App.Name
+		for v, variant := range variants {
+			wg.Add(1)
+			go func(i, v int, pl *Pipeline, kIntra, kInter float64) {
+				defer wg.Done()
+				s.pool.Do(func() {
+					cfg := s.Config.Build
+					cfg.SmallWorld.KIntra = kIntra
+					cfg.SmallWorld.KInter = kInter
+					sys, err := sim.VFIWiNoC(cfg, pl.Plan.VFI2, pl.Profile.Traffic, pl.BestStrategy)
+					if err != nil {
+						errs[i*len(variants)+v] = err
+						return
+					}
+					res, err := sim.Run(pl.Workload, sys)
+					if err != nil {
+						errs[i*len(variants)+v] = err
+						return
+					}
+					if v == 0 {
+						rows[i].EDP31 = networkEDP(res)
+						rows[i].Exec31 = res.Report.ExecSeconds
+					} else {
+						rows[i].EDP22 = networkEDP(res)
+						rows[i].Exec22 = res.Report.ExecSeconds
+					}
+				})
+			}(i, v, pl, variant.kIntra, variant.kInter)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // FormatKIntra renders the parameter study.

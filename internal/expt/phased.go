@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wivfi/internal/platform"
 	"wivfi/internal/sim"
@@ -34,41 +35,63 @@ type PhasedRow struct {
 // with no core on the critical path (Kmeans' idle half during iteration two
 // is the showcase).
 func (s *Suite) PhaseAdaptiveStudy() ([]PhasedRow, error) {
-	var rows []PhasedRow
+	if err := s.Prewarm(AppOrder...); err != nil {
+		return nil, err
+	}
 	table := platform.DefaultDVFSTable()
-	err := s.ForEach(func(pl *Pipeline) error {
+	rows := make([]PhasedRow, len(AppOrder))
+	modes := []sim.PhaseUtilMode{sim.PhaseUtilMean, sim.PhaseUtilMaxCore}
+	errs := make([]error, len(AppOrder)*len(modes))
+	var wg sync.WaitGroup
+	for i, name := range AppOrder {
+		pl, err := s.Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].App = pl.App.Name
+		rows[i].ExecStatic, _, rows[i].StaticEDP = pl.VFI2Mesh.Report.Relative(pl.Baseline.Report)
+		// The mesh system is read-only under RunPhased (it simulates on a
+		// copy), so both controller runs can share it and fan out.
 		meshSys, err := sim.VFIMesh(s.Config.Build, pl.Plan.VFI2, pl.Profile.Traffic)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		row := PhasedRow{App: pl.App.Name}
-		execStatic, _, staticEDP := pl.VFI2Mesh.Report.Relative(pl.Baseline.Report)
-		row.ExecStatic, row.StaticEDP = execStatic, staticEDP
-		for _, mode := range []sim.PhaseUtilMode{sim.PhaseUtilMean, sim.PhaseUtilMaxCore} {
-			configs := sim.PhaseConfigs(pl.Baseline, pl.Plan.VFI2, table, s.Config.VFI.FreqMargin, mode)
-			phased, err := sim.RunPhased(pl.Workload, meshSys, configs, sim.DefaultDVFSTransition())
-			if err != nil {
-				return err
-			}
-			exec, _, edp := phased.Report.Relative(pl.Baseline.Report)
-			if mode == sim.PhaseUtilMean {
-				row.ExecMean, row.MeanEDP = exec, edp
-			} else {
-				row.ExecMaxCore, row.MaxCoreEDP = exec, edp
-				for i := 1; i < len(configs); i++ {
-					for j := range configs[i].Points {
-						if configs[i].Points[j] != configs[i-1].Points[j] {
-							row.Transitions++
-							break
+		for m, mode := range modes {
+			wg.Add(1)
+			go func(i, m int, pl *Pipeline, mode sim.PhaseUtilMode, meshSys *sim.System) {
+				defer wg.Done()
+				s.pool.Do(func() {
+					configs := sim.PhaseConfigs(pl.Baseline, pl.Plan.VFI2, table, s.Config.VFI.FreqMargin, mode)
+					phased, err := sim.RunPhased(pl.Workload, meshSys, configs, sim.DefaultDVFSTransition())
+					if err != nil {
+						errs[i*len(modes)+m] = err
+						return
+					}
+					exec, _, edp := phased.Report.Relative(pl.Baseline.Report)
+					if mode == sim.PhaseUtilMean {
+						rows[i].ExecMean, rows[i].MeanEDP = exec, edp
+					} else {
+						rows[i].ExecMaxCore, rows[i].MaxCoreEDP = exec, edp
+						for p := 1; p < len(configs); p++ {
+							for j := range configs[p].Points {
+								if configs[p].Points[j] != configs[p-1].Points[j] {
+									rows[i].Transitions++
+									break
+								}
+							}
 						}
 					}
-				}
-			}
+				})
+			}(i, m, pl, mode, meshSys)
 		}
-		rows = append(rows, row)
-		return nil
-	})
-	return rows, err
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // FormatPhased renders the extension study.

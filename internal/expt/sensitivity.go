@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"wivfi/internal/sim"
 	"wivfi/internal/vfi"
@@ -32,35 +33,57 @@ func (s *Suite) MarginSweep(appName string, margins []float64) ([]MarginRow, err
 	if err != nil {
 		return nil, err
 	}
-	var rows []MarginRow
 	for _, m := range margins {
 		if m < 0 || m > 1 {
 			return nil, fmt.Errorf("expt: margin %v out of [0,1]", m)
 		}
-		opts := s.Config.VFI
-		opts.FreqMargin = m
-		plan, err := vfi.Design(pl.Profile, opts)
+	}
+	// Every margin point re-runs the design flow and one mesh simulation on
+	// the shared profile — independent work, fanned out over the pool with
+	// rows assembled in argument order.
+	rows := make([]MarginRow, len(margins))
+	errs := make([]error, len(margins))
+	var wg sync.WaitGroup
+	for i, m := range margins {
+		wg.Add(1)
+		go func(i int, m float64) {
+			defer wg.Done()
+			s.pool.Do(func() {
+				opts := s.Config.VFI
+				opts.FreqMargin = m
+				plan, err := vfi.Design(pl.Profile, opts)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				sys, err := sim.VFIMesh(s.Config.Build, plan.VFI2, pl.Profile.Traffic)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				run, err := sim.Run(pl.Workload, sys)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				var fs []float64
+				for _, p := range plan.VFI2.Points {
+					fs = append(fs, p.FreqGHz)
+				}
+				sort.Float64s(fs)
+				exec, _, edp := run.Report.Relative(pl.Baseline.Report)
+				rows[i] = MarginRow{
+					App: appName, Margin: m, Freqs: fs,
+					ExecRatio: exec, EDPRatio: edp,
+				}
+			})
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		sys, err := sim.VFIMesh(s.Config.Build, plan.VFI2, pl.Profile.Traffic)
-		if err != nil {
-			return nil, err
-		}
-		run, err := sim.Run(pl.Workload, sys)
-		if err != nil {
-			return nil, err
-		}
-		var fs []float64
-		for _, p := range plan.VFI2.Points {
-			fs = append(fs, p.FreqGHz)
-		}
-		sort.Float64s(fs)
-		exec, _, edp := run.Report.Relative(pl.Baseline.Report)
-		rows = append(rows, MarginRow{
-			App: appName, Margin: m, Freqs: fs,
-			ExecRatio: exec, EDPRatio: edp,
-		})
 	}
 	return rows, nil
 }

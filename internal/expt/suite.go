@@ -8,7 +8,12 @@
 //
 // A Suite caches the expensive per-application pipeline — profiling run,
 // VFI design, system construction and the simulation of every system — so
-// the experiment drivers and benchmarks can share results.
+// the experiment drivers and benchmarks can share results. Distinct
+// benchmarks build concurrently (duplicate requests for the same benchmark
+// coalesce onto one build), and within a pipeline the independent system
+// simulations fan out over a bounded worker pool shared by the whole
+// suite. All simulations are deterministic, so results are byte-identical
+// whatever the parallelism level.
 package expt
 
 import (
@@ -52,82 +57,103 @@ type Pipeline struct {
 	// BestStrategy is the strategy with the lower full-system EDP — the
 	// per-application choice Section 6 prescribes.
 	BestStrategy sim.Strategy
+	// FromCache reports whether the profile and VFI plan were loaded from
+	// the on-disk design cache rather than recomputed.
+	FromCache bool
 }
 
 // BestWiNoC returns the WiNoC run under the chosen strategy.
 func (p *Pipeline) BestWiNoC() *sim.RunResult { return p.WiNoC[p.BestStrategy] }
 
-// BuildPipeline runs the full flow for one benchmark.
+// buildHook, when non-nil, is invoked at the start of every pipeline build
+// (after the suite lock is released). Test seam for the singleflight
+// regression tests; never set outside tests.
+var buildHook func(name string)
+
+// BuildPipeline runs the full flow for one benchmark, serially and without
+// a disk cache. The Suite path adds coalescing, fan-out and caching.
 func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
+	return buildPipeline(cfg, app, nil, "")
+}
+
+// buildPipeline runs the design flow and then fans the five independent
+// system simulations (baseline, VFI 1 mesh, VFI 2 mesh, two WiNoC
+// placements) out over the pool. A nil pool runs everything inline.
+func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (*Pipeline, error) {
+	if buildHook != nil {
+		buildHook(app.Name)
+	}
 	w, err := app.Workload(cfg.Build.Chip.NumCores())
 	if err != nil {
 		return nil, fmt.Errorf("expt: %s workload: %w", app.Name, err)
 	}
-	// Step 1 (Fig. 3): characterize on the plain non-VFI system.
-	probeSys, err := sim.NVFIMesh(cfg.Build)
-	if err != nil {
-		return nil, err
-	}
-	probeRes, err := sim.Run(w, probeSys)
-	if err != nil {
-		return nil, fmt.Errorf("expt: %s profiling run: %w", app.Name, err)
-	}
-	prof := probeRes.Profile()
 
-	// Reporting baseline: the same non-VFI mesh with a sane thread mapping.
-	baseSys, err := sim.NVFIMeshMapped(cfg.Build, prof.Traffic)
+	// Steps 1-4 (Fig. 3): characterize on the plain non-VFI system, then
+	// cluster, assign V/F and re-assign for bottlenecks — or reload both
+	// artifacts from the config-keyed disk cache.
+	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir)
 	if err != nil {
 		return nil, err
-	}
-	baseRes, err := sim.Run(w, baseSys)
-	if err != nil {
-		return nil, err
-	}
-
-	// Steps 2-4: cluster, assign V/F, re-assign for bottlenecks.
-	plan, err := vfi.Design(prof, cfg.VFI)
-	if err != nil {
-		return nil, fmt.Errorf("expt: %s VFI design: %w", app.Name, err)
 	}
 
 	pl := &Pipeline{
-		App:      app,
-		Workload: w,
-		Profile:  prof,
-		Plan:     plan,
-		Baseline: baseRes,
-		WiNoC:    map[sim.Strategy]*sim.RunResult{},
+		App:       app,
+		Workload:  w,
+		Profile:   prof,
+		Plan:      plan,
+		WiNoC:     map[sim.Strategy]*sim.RunResult{},
+		FromCache: cached,
 	}
 
-	for _, variant := range []struct {
-		cfgV platform.VFIConfig
-		dst  **sim.RunResult
+	// The five remaining simulations are mutually independent: they each
+	// construct their own system from (cfg, prof, plan) and write to a
+	// distinct destination, so they can run concurrently in any order
+	// without changing the result.
+	var wiMinHop, wiMaxWireless *sim.RunResult
+	jobs := []struct {
+		dst   **sim.RunResult
+		build func() (*sim.System, error)
 	}{
-		{plan.VFI1, &pl.VFI1Mesh},
-		{plan.VFI2, &pl.VFI2Mesh},
-	} {
-		sys, err := sim.VFIMesh(cfg.Build, variant.cfgV, prof.Traffic)
+		{&pl.Baseline, func() (*sim.System, error) { return sim.NVFIMeshMapped(cfg.Build, prof.Traffic) }},
+		{&pl.VFI1Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI1, prof.Traffic) }},
+		{&pl.VFI2Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI2, prof.Traffic) }},
+		{&wiMinHop, func() (*sim.System, error) {
+			return sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, sim.MinHop)
+		}},
+		{&wiMaxWireless, func() (*sim.System, error) {
+			return sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, sim.MaxWireless)
+		}},
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, dst **sim.RunResult, build func() (*sim.System, error)) {
+			defer wg.Done()
+			pool.Do(func() {
+				sys, err := build()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				res, err := sim.Run(w, sys)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				*dst = res
+			})
+		}(i, job.dst, job.build)
+	}
+	wg.Wait()
+	for _, err := range errs { // first error in fixed job order, deterministically
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("expt: %s: %w", app.Name, err)
 		}
-		res, err := sim.Run(w, sys)
-		if err != nil {
-			return nil, err
-		}
-		*variant.dst = res
 	}
 
-	for _, st := range []sim.Strategy{sim.MinHop, sim.MaxWireless} {
-		sys, err := sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, st)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(w, sys)
-		if err != nil {
-			return nil, err
-		}
-		pl.WiNoC[st] = res
-	}
+	pl.WiNoC[sim.MinHop] = wiMinHop
+	pl.WiNoC[sim.MaxWireless] = wiMaxWireless
 	pl.BestStrategy = sim.MinHop
 	if pl.WiNoC[sim.MaxWireless].Report.EDP() < pl.WiNoC[sim.MinHop].Report.EDP() {
 		pl.BestStrategy = sim.MaxWireless
@@ -135,44 +161,171 @@ func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
 	return pl, nil
 }
 
-// Suite lazily builds and caches one pipeline per benchmark.
+// designFlow produces the profile and VFI plan, consulting the disk cache
+// when cacheDir is non-empty. Cache writes are best-effort: a read-only or
+// full disk degrades to recomputation, never to failure.
+func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cacheDir string) (platform.Profile, vfi.Plan, bool, error) {
+	if cacheDir != "" {
+		if prof, plan, ok := loadDesign(cacheDir, cfg, app.Name); ok {
+			return prof, plan, true, nil
+		}
+	}
+	var prof platform.Profile
+	var probeErr error
+	pool.Do(func() {
+		probeSys, err := sim.NVFIMesh(cfg.Build)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		probeRes, err := sim.Run(w, probeSys)
+		if err != nil {
+			probeErr = fmt.Errorf("expt: %s profiling run: %w", app.Name, err)
+			return
+		}
+		prof = probeRes.Profile()
+	})
+	if probeErr != nil {
+		return platform.Profile{}, vfi.Plan{}, false, probeErr
+	}
+	var plan vfi.Plan
+	var designErr error
+	pool.Do(func() {
+		plan, designErr = vfi.Design(prof, cfg.VFI)
+	})
+	if designErr != nil {
+		return platform.Profile{}, vfi.Plan{}, false, fmt.Errorf("expt: %s VFI design: %w", app.Name, designErr)
+	}
+	if cacheDir != "" {
+		saveDesign(cacheDir, cfg, app.Name, prof, plan) // best effort
+	}
+	return prof, plan, false, nil
+}
+
+// suiteEntry is the singleflight slot for one benchmark: the first caller
+// runs the build under the entry's Once, later and concurrent callers for
+// the same name wait on it, and callers for other names proceed
+// independently.
+type suiteEntry struct {
+	once sync.Once
+	pl   *Pipeline
+	err  error
+}
+
+// Suite lazily builds and caches one pipeline per benchmark. Distinct
+// benchmarks build concurrently; duplicate requests coalesce. The
+// zero-value-like suite from NewSuite is ready to use and safe for
+// concurrent use by multiple goroutines.
 type Suite struct {
 	Config Config
 
-	mu        sync.Mutex
-	pipelines map[string]*Pipeline
+	mu      sync.Mutex
+	entries map[string]*suiteEntry
+
+	pool     *sim.Pool
+	cacheDir string
+}
+
+// Option configures a Suite beyond its platform Config.
+type Option func(*Suite)
+
+// WithParallelism bounds the suite-wide worker pool to n concurrent
+// simulations (n <= 1 means fully serial). The default is GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(s *Suite) { s.pool = sim.NewPool(n) }
+}
+
+// WithCacheDir enables the on-disk design cache rooted at dir: pipelines
+// store their profiling run and VFI plan keyed by a hash of the suite
+// Config and benchmark name, so later suites with the same configuration
+// skip the probe simulation and the clustering anneal. An empty dir
+// disables caching (the default).
+func WithCacheDir(dir string) Option {
+	return func(s *Suite) { s.cacheDir = dir }
 }
 
 // NewSuite returns an empty suite for the configuration.
-func NewSuite(cfg Config) *Suite {
-	return &Suite{Config: cfg, pipelines: map[string]*Pipeline{}}
+func NewSuite(cfg Config, opts ...Option) *Suite {
+	s := &Suite{
+		Config:  cfg,
+		entries: map[string]*suiteEntry{},
+		pool:    sim.DefaultPool(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Parallelism reports the size of the suite's worker pool.
+func (s *Suite) Parallelism() int { return s.pool.Size() }
+
+// entry returns (creating if needed) the singleflight slot for a name. The
+// suite lock protects only the map, never a build.
+func (s *Suite) entry(name string) *suiteEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		e = &suiteEntry{}
+		s.entries[name] = e
+	}
+	return e
 }
 
 // Pipeline returns (building on first use) the pipeline for a benchmark.
+// Concurrent calls for the same benchmark build it exactly once; calls for
+// different benchmarks run concurrently.
 func (s *Suite) Pipeline(name string) (*Pipeline, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if pl, ok := s.pipelines[name]; ok {
-		return pl, nil
+	e := s.entry(name)
+	e.once.Do(func() {
+		app, err := apps.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.pl, e.err = buildPipeline(s.Config, app, s.pool, s.cacheDir)
+	})
+	return e.pl, e.err
+}
+
+// Prewarm builds the named pipelines (all of AppOrder when none are given)
+// concurrently and returns the first error in argument order. It is the
+// fan-out entry point for cmd/reproduce -j and the benchmarks; afterwards
+// every Pipeline call is a cache hit.
+func (s *Suite) Prewarm(names ...string) error {
+	if len(names) == 0 {
+		names = AppOrder
 	}
-	app, err := apps.ByName(name)
-	if err != nil {
-		return nil, err
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.Pipeline(name)
+		}(i, name)
 	}
-	pl, err := BuildPipeline(s.Config, app)
-	if err != nil {
-		return nil, err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	s.pipelines[name] = pl
-	return pl, nil
+	return nil
 }
 
 // AppOrder is the benchmark ordering used by the figure drivers (Fig. 8's
 // x-axis order).
 var AppOrder = []string{"mm", "wc", "pca", "lr", "hist", "kmeans"}
 
-// ForEach runs fn over every benchmark pipeline in AppOrder.
+// ForEach runs fn over every benchmark pipeline in AppOrder. The pipelines
+// are prewarmed concurrently; fn itself runs serially in AppOrder so
+// drivers emit rows deterministically.
 func (s *Suite) ForEach(fn func(*Pipeline) error) error {
+	if err := s.Prewarm(AppOrder...); err != nil {
+		return err
+	}
 	for _, name := range AppOrder {
 		pl, err := s.Pipeline(name)
 		if err != nil {

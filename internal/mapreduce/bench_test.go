@@ -1,0 +1,54 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchLines builds a corpus with a large unique-key population so the
+// reduce phase (partitioning + merging) dominates over the map phase.
+func benchLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("u%d u%d u%d shared", i, i%1000, i%97)
+	}
+	return lines
+}
+
+// BenchmarkReduceStringKeys exercises the full Run with string keys and the
+// default hash: before the single-pass sharding fix every reducer re-hashed
+// every key of every local map through fmt.Sprintf.
+func BenchmarkReduceStringKeys(b *testing.B) {
+	lines := benchLines(20000)
+	job := wordCountJob(8)
+	job.KeyLess = nil // isolate map+reduce; merge-sort is not under test
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(job, lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduceIntKeys is the same shape with integer keys, where the
+// default hash formerly allocated a decimal string per call.
+func BenchmarkReduceIntKeys(b *testing.B) {
+	data := make([]int, 20000)
+	for i := range data {
+		data[i] = i
+	}
+	job := Job[int, int, int]{
+		Name:    "ihist",
+		Map:     func(x int, emit func(int, int)) { emit(x, 1); emit(x%1024, 1) },
+		Combine: func(a, b int) int { return a + b },
+		Workers: 8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(job, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

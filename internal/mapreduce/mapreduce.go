@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"time"
+	"unsafe"
 )
 
 // Job describes one MapReduce computation over inputs of type In producing
@@ -46,9 +47,11 @@ type Job[In any, K comparable, V any] struct {
 	TasksPerWorker int
 	// KeyLess, when non-nil, sorts the merged output by key.
 	KeyLess func(a, b K) bool
-	// KeyHash, when non-nil, shards keys across reduce partitions. The
-	// default hashes the key's fmt representation, which is correct for
-	// any key type but allocates; supply a cheap hash for hot paths.
+	// KeyHash, when non-nil, shards keys across reduce partitions. It must
+	// be safe for concurrent invocation: the map workers shard their local
+	// maps in parallel. The default is allocation-free for string and
+	// integer keys and falls back to hashing the key's fmt representation
+	// for other types.
 	KeyHash func(k K) uint32
 }
 
@@ -61,15 +64,15 @@ type Pair[K comparable, V any] struct {
 // Stats reports the execution profile of one run — the same phase taxonomy
 // the platform simulator models.
 type Stats struct {
-	Workers      int
-	Tasks        int
-	Steals       int
-	SplitTime    time.Duration
-	MapTime      time.Duration
-	ReduceTime   time.Duration
-	MergeTime    time.Duration
-	UniqueKeys   int
-	RecordsMaped int64
+	Workers       int
+	Tasks         int
+	Steals        int
+	SplitTime     time.Duration
+	MapTime       time.Duration
+	ReduceTime    time.Duration
+	MergeTime     time.Duration
+	UniqueKeys    int
+	RecordsMapped int64
 }
 
 // Result carries the merged output.
@@ -227,18 +230,38 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	wg.Wait()
 	for w := 0; w < workers; w++ {
 		stats.Steals += steals[w]
-		stats.RecordsMaped += records[w]
+		stats.RecordsMapped += records[w]
 	}
 	stats.MapTime = time.Since(mapStart)
 
 	// ---- Reduce: merge the per-worker maps in parallel partitions ----
 	reduceStart := time.Now()
-	// Partition the union of keys by worker ownership: each reducer scans
-	// all local maps but only claims keys hashed to its partition.
 	hash := job.KeyHash
 	if hash == nil {
-		hash = func(k K) uint32 { return fnvHash(fmt.Sprintf("%v", k)) }
+		hash = defaultKeyHash[K]()
 	}
+	// Pass 1: each worker shards its own local map, hashing every key
+	// exactly once (reducers formerly re-hashed every key of every local
+	// map, W× redundant work).
+	sharded := make([][]map[K]V, workers)
+	var sg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sg.Add(1)
+		go func(w int) {
+			defer sg.Done()
+			shards := make([]map[K]V, workers)
+			for k, v := range locals[w] {
+				p := int(hash(k)) % workers
+				if shards[p] == nil {
+					shards[p] = make(map[K]V)
+				}
+				shards[p][k] = v
+			}
+			sharded[w] = shards
+		}(w)
+	}
+	sg.Wait()
+	// Pass 2: reducer p merges shard p of every worker, no hashing needed.
 	partitions := make([]map[K]V, workers)
 	var rg sync.WaitGroup
 	for p := 0; p < workers; p++ {
@@ -246,11 +269,8 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		go func(p int) {
 			defer rg.Done()
 			part := make(map[K]V)
-			for _, local := range locals {
-				for k, v := range local {
-					if int(hash(k))%workers != p {
-						continue
-					}
+			for w := 0; w < workers; w++ {
+				for k, v := range sharded[w][p] {
 					if old, ok := part[k]; ok {
 						part[k] = job.Combine(old, v)
 					} else {
@@ -282,6 +302,56 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	stats.MergeTime = time.Since(mergeStart)
 	stats.UniqueKeys = len(pairs)
 	return &Result[K, V]{Pairs: pairs}, stats, nil
+}
+
+// defaultKeyHash selects a shard hash for the key type: FNV-1a directly on
+// string keys, a SplitMix64-style mix on integer keys (both allocation
+// free), and FNV-1a over the fmt representation as the fallback for
+// everything else. Partitioning only needs determinism within one run, so
+// the integer path is free to differ from the string form of the number.
+func defaultKeyHash[K comparable]() func(K) uint32 {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		return func(k K) uint32 { return fnvHash(*(*string)(keyPtr(&k))) }
+	case int:
+		return func(k K) uint32 { return mix64(uint64(*(*int)(keyPtr(&k)))) }
+	case int8:
+		return func(k K) uint32 { return mix64(uint64(*(*int8)(keyPtr(&k)))) }
+	case int16:
+		return func(k K) uint32 { return mix64(uint64(*(*int16)(keyPtr(&k)))) }
+	case int32:
+		return func(k K) uint32 { return mix64(uint64(*(*int32)(keyPtr(&k)))) }
+	case int64:
+		return func(k K) uint32 { return mix64(uint64(*(*int64)(keyPtr(&k)))) }
+	case uint:
+		return func(k K) uint32 { return mix64(uint64(*(*uint)(keyPtr(&k)))) }
+	case uint8:
+		return func(k K) uint32 { return mix64(uint64(*(*uint8)(keyPtr(&k)))) }
+	case uint16:
+		return func(k K) uint32 { return mix64(uint64(*(*uint16)(keyPtr(&k)))) }
+	case uint32:
+		return func(k K) uint32 { return mix64(uint64(*(*uint32)(keyPtr(&k)))) }
+	case uint64:
+		return func(k K) uint32 { return mix64(*(*uint64)(keyPtr(&k))) }
+	case uintptr:
+		return func(k K) uint32 { return mix64(uint64(*(*uintptr)(keyPtr(&k)))) }
+	default:
+		return func(k K) uint32 { return fnvHash(fmt.Sprintf("%v", k)) }
+	}
+}
+
+// keyPtr reinterprets a *K whose dynamic type was already established by
+// defaultKeyHash's type switch; unsafe.Pointer avoids boxing the key into
+// an interface (and thus allocating) on every hash call.
+func keyPtr[K comparable](k *K) unsafe.Pointer { return unsafe.Pointer(k) }
+
+// mix64 is the SplitMix64 finalizer, folded to 32 bits.
+func mix64(x uint64) uint32 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x ^ (x >> 32))
 }
 
 // fnvHash is a small FNV-1a over the key's string form, used only to shard

@@ -3,6 +3,8 @@ package mapreduce
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -43,8 +45,8 @@ func TestWordCountBasic(t *testing.T) {
 	if stats.UniqueKeys != 6 {
 		t.Errorf("UniqueKeys = %d", stats.UniqueKeys)
 	}
-	if stats.RecordsMaped != 3 {
-		t.Errorf("RecordsMaped = %d", stats.RecordsMaped)
+	if stats.RecordsMapped != 3 {
+		t.Errorf("RecordsMapped = %d", stats.RecordsMapped)
 	}
 	// sorted output
 	for i := 1; i < len(res.Pairs); i++ {
@@ -88,8 +90,8 @@ func TestEmptyInput(t *testing.T) {
 	if len(res.Pairs) != 0 {
 		t.Errorf("empty input produced %d pairs", len(res.Pairs))
 	}
-	if stats.RecordsMaped != 0 {
-		t.Errorf("RecordsMaped = %d", stats.RecordsMaped)
+	if stats.RecordsMapped != 0 {
+		t.Errorf("RecordsMapped = %d", stats.RecordsMapped)
 	}
 }
 
@@ -232,9 +234,9 @@ func TestStructuredValues(t *testing.T) {
 
 func TestCustomKeyHash(t *testing.T) {
 	job := wordCountJob(4)
-	calls := 0
+	var calls atomic.Int64 // KeyHash runs concurrently across shard workers
 	job.KeyHash = func(k string) uint32 {
-		calls++
+		calls.Add(1)
 		var h uint32 = 5381
 		for i := 0; i < len(k); i++ {
 			h = h*33 + uint32(k[i])
@@ -249,7 +251,7 @@ func TestCustomKeyHash(t *testing.T) {
 	if m["a"] != 3 || m["b"] != 2 || m["c"] != 1 {
 		t.Errorf("counts wrong with custom hash: %v", m)
 	}
-	if calls == 0 {
+	if calls.Load() == 0 {
 		t.Error("custom hash never invoked")
 	}
 }
@@ -276,6 +278,129 @@ func TestCustomHashMatchesDefaultResults(t *testing.T) {
 	for k, v := range dm {
 		if cm[k] != v {
 			t.Errorf("key %q: %d vs %d", k, cm[k], v)
+		}
+	}
+}
+
+// TestDefaultHashKindsAgree exercises the specialized default hashes: every
+// supported key type must produce correct merged output (the hash only
+// affects sharding, never values).
+func TestDefaultHashKindsAgree(t *testing.T) {
+	intJob := Job[int, int64, int]{
+		Name:    "i64",
+		Map:     func(x int, emit func(int64, int)) { emit(int64(x%101), 1) },
+		Combine: func(a, b int) int { return a + b },
+		Workers: 4,
+		KeyLess: func(a, b int64) bool { return a < b },
+	}
+	data := make([]int, 1010)
+	for i := range data {
+		data[i] = i
+	}
+	res, _, err := Run(intJob, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 101 {
+		t.Fatalf("%d keys, want 101", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		if p.Value != 10 {
+			t.Errorf("key %d = %d, want 10", p.Key, p.Value)
+		}
+	}
+	// struct keys exercise the fmt fallback
+	type ck struct{ A, B int }
+	structJob := Job[int, ck, int]{
+		Name:    "struct",
+		Map:     func(x int, emit func(ck, int)) { emit(ck{x % 7, x % 3}, 1) },
+		Combine: func(a, b int) int { return a + b },
+		Workers: 4,
+	}
+	sres, _, err := Run(structJob, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range sres.Pairs {
+		total += p.Value
+	}
+	if total != len(data) {
+		t.Errorf("struct-key counts sum to %d, want %d", total, len(data))
+	}
+}
+
+// TestEachKeyHashedOncePerLocalMap is the regression test for the W×
+// redundant hashing bug: with W workers the hash used to run W times per
+// (local map, key); now it must run exactly once.
+func TestEachKeyHashedOncePerLocalMap(t *testing.T) {
+	const workers = 8
+	var calls atomic.Int64
+	job := Job[int, int, int]{
+		Name:    "hashcount",
+		Map:     func(x int, emit func(int, int)) { emit(x, 1) },
+		Combine: func(a, b int) int { return a + b },
+		Workers: workers,
+		KeyHash: func(k int) uint32 {
+			calls.Add(1)
+			return uint32(k)
+		},
+	}
+	data := make([]int, 4000) // all keys unique
+	for i := range data {
+		data[i] = i
+	}
+	if _, _, err := Run(job, data); err != nil {
+		t.Fatal(err)
+	}
+	// Unique keys mean every key lives in exactly one local map, so the
+	// total must be exactly len(data); the old code did W times that.
+	if got := calls.Load(); got != int64(len(data)) {
+		t.Errorf("hash called %d times for %d unique keys (pre-fix: %d)",
+			got, len(data), workers*len(data))
+	}
+}
+
+// TestConcurrentRuns drives many whole MapReduce jobs in parallel; run
+// under -race it guards the engine's internal synchronization.
+func TestConcurrentRuns(t *testing.T) {
+	var lines []string
+	for i := 0; i < 400; i++ {
+		lines = append(lines, fmt.Sprintf("w%d w%d shared", i%37, i%11))
+	}
+	ref, _, err := Run(wordCountJob(1), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ToMap()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, _, err := Run(wordCountJob(4), lines)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			m := res.ToMap()
+			if len(m) != len(want) {
+				errs[g] = fmt.Errorf("goroutine %d: %d keys, want %d", g, len(m), len(want))
+				return
+			}
+			for k, v := range want {
+				if m[k] != v {
+					errs[g] = fmt.Errorf("goroutine %d: key %q = %d, want %d", g, k, m[k], v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
 		}
 	}
 }

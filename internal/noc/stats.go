@@ -138,20 +138,10 @@ func SaturationSweep(rt *RouteTable, rates []float64, packetsPerRate int, flits 
 		if rate <= 0 {
 			return nil, fmt.Errorf("noc: non-positive injection rate %v", rate)
 		}
-		rng := newSplitMix(uint64(seed))
-		var pkts []Packet
 		// Bernoulli injection: each node sources packetsPerRate/n packets
 		// spaced so the aggregate offered load matches the rate.
 		horizon := float64(packetsPerRate*flits) / (rate * float64(n))
-		for i := 0; i < packetsPerRate; i++ {
-			src := int(rng.next() % uint64(n))
-			dst := int(rng.next() % uint64(n))
-			for dst == src {
-				dst = int(rng.next() % uint64(n))
-			}
-			inject := int64(float64(rng.next()%1000) / 1000 * horizon)
-			pkts = append(pkts, Packet{ID: i, Src: src, Dst: dst, Flits: flits, Inject: inject})
-		}
+		pkts := uniformTraffic(n, packetsPerRate, flits, horizon, seed)
 		res, err := RunDES(rt, pkts, nm, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("noc: sweep at rate %v: %w", rate, err)
@@ -163,6 +153,26 @@ func SaturationSweep(rt *RouteTable, rates []float64, packetsPerRate int, flits 
 		})
 	}
 	return out, nil
+}
+
+// uniformTraffic draws uniform random src/dst pairs with injection times
+// uniform over [0, horizon) at full 53-bit precision. (An earlier version
+// quantized injection to rng.next()%1000 / 1000 of the horizon — only 1000
+// distinct slots, which collides badly at large horizons and truncates
+// everything to cycle 0 when horizon < 1000.)
+func uniformTraffic(n, packets, flits int, horizon float64, seed int64) []Packet {
+	rng := newSplitMix(uint64(seed))
+	pkts := make([]Packet, 0, packets)
+	for i := 0; i < packets; i++ {
+		src := int(rng.next() % uint64(n))
+		dst := int(rng.next() % uint64(n))
+		for dst == src {
+			dst = int(rng.next() % uint64(n))
+		}
+		inject := int64(rng.float64() * horizon)
+		pkts = append(pkts, Packet{ID: i, Src: src, Dst: dst, Flits: flits, Inject: inject})
+	}
+	return pkts
 }
 
 // splitMix is a tiny deterministic PRNG (SplitMix64) so the sweep does not
@@ -177,4 +187,10 @@ func (s *splitMix) next() uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with the full 53 bits of double
+// precision.
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
 }

@@ -167,3 +167,56 @@ func TestSplitMixDeterministic(t *testing.T) {
 		t.Errorf("different seeds collide %d/100 times", same)
 	}
 }
+
+// TestUniformTrafficInjectionSpread is the regression test for the
+// quantized injection draw: times must cover [0, horizon) at full
+// precision, not collapse onto 1000 coarse slots (or onto cycle 0 when the
+// horizon is smaller than 1000 cycles).
+func TestUniformTrafficInjectionSpread(t *testing.T) {
+	const n, packets = 64, 4000
+	for _, horizon := range []float64{500, 1e6} {
+		pkts := uniformTraffic(n, packets, 4, horizon, 7)
+		if len(pkts) != packets {
+			t.Fatalf("horizon %v: %d packets", horizon, len(pkts))
+		}
+		distinct := map[int64]bool{}
+		var max int64
+		for _, p := range pkts {
+			if p.Inject < 0 || float64(p.Inject) >= horizon {
+				t.Fatalf("horizon %v: injection %d outside [0, %v)", horizon, p.Inject, horizon)
+			}
+			distinct[p.Inject] = true
+			if p.Inject > max {
+				max = p.Inject
+			}
+		}
+		// The old draw had at most 1000 distinct values at any horizon and
+		// exactly one (cycle 0) when horizon < 1000. With 4000 uniform
+		// draws over a large horizon, collisions are rare: demand far more
+		// than 1000 distinct times at horizon 1e6, and a wide spread at
+		// horizon 500.
+		if horizon >= 1e6 && len(distinct) <= 3500 {
+			t.Errorf("horizon %v: only %d distinct injection times for %d packets", horizon, len(distinct), packets)
+		}
+		if horizon == 500 && len(distinct) < 400 {
+			t.Errorf("horizon %v: only %d distinct injection times (old code gave 1)", horizon, len(distinct))
+		}
+		if float64(max) < 0.9*horizon {
+			t.Errorf("horizon %v: max injection %d does not reach the tail", horizon, max)
+		}
+	}
+}
+
+// TestSaturationSweepUsesFullHorizon: end to end, the lowest offered rate
+// (largest horizon) must produce a longer simulated run than the quantized
+// draw could ever have, i.e. delivery spreads across the real horizon.
+func TestSaturationSweepUsesFullHorizon(t *testing.T) {
+	rt := meshRT(t, XY)
+	points, err := SaturationSweep(rt, []float64{0.001}, 600, 4, defaultNM(), DefaultDESConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Delivered != 600 {
+		t.Fatalf("delivered %d of 600", points[0].Delivered)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // profileJSON is the stable on-disk schema for Profile.
@@ -55,6 +57,11 @@ type vfiConfigJSON struct {
 	Points  []OperatingPoint `json:"points"`
 }
 
+// vfiConfigSchemaVersion versions the VFI-config schema independently of
+// the profile schema (they used to share one constant, coupling two
+// formats that evolve separately).
+const vfiConfigSchemaVersion = 1
+
 // WriteVFIConfig serializes a VFI configuration as JSON.
 func WriteVFIConfig(w io.Writer, cfg VFIConfig) error {
 	if err := cfg.Validate(); err != nil {
@@ -63,7 +70,7 @@ func WriteVFIConfig(w io.Writer, cfg VFIConfig) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(vfiConfigJSON{
-		Version: profileSchemaVersion,
+		Version: vfiConfigSchemaVersion,
 		Assign:  cfg.Assign,
 		Points:  cfg.Points,
 	})
@@ -76,12 +83,63 @@ func ReadVFIConfig(r io.Reader) (VFIConfig, error) {
 	if err := json.NewDecoder(r).Decode(&cj); err != nil {
 		return VFIConfig{}, fmt.Errorf("platform: decoding VFI config: %w", err)
 	}
-	if cj.Version != profileSchemaVersion {
-		return VFIConfig{}, fmt.Errorf("platform: VFI config schema version %d, want %d", cj.Version, profileSchemaVersion)
+	if cj.Version != vfiConfigSchemaVersion {
+		return VFIConfig{}, fmt.Errorf("platform: VFI config schema version %d, want %d", cj.Version, vfiConfigSchemaVersion)
 	}
 	cfg := VFIConfig{Assign: cj.Assign, Points: cj.Points}
 	if err := cfg.Validate(); err != nil {
 		return VFIConfig{}, fmt.Errorf("platform: loaded VFI config invalid: %w", err)
 	}
 	return cfg, nil
+}
+
+// SaveProfile writes a profile to path atomically (write to a temp file in
+// the same directory, then rename), so concurrent readers never observe a
+// torn file — the experiment harness caches profiles from parallel
+// pipeline builds.
+func SaveProfile(path string, p Profile) error {
+	return atomicWrite(path, func(w io.Writer) error { return WriteProfile(w, p) })
+}
+
+// LoadProfile reads a profile written by SaveProfile.
+func LoadProfile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+// SaveVFIConfig writes a VFI configuration to path atomically.
+func SaveVFIConfig(path string, cfg VFIConfig) error {
+	return atomicWrite(path, func(w io.Writer) error { return WriteVFIConfig(w, cfg) })
+}
+
+// LoadVFIConfig reads a configuration written by SaveVFIConfig.
+func LoadVFIConfig(path string) (VFIConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return VFIConfig{}, err
+	}
+	defer f.Close()
+	return ReadVFIConfig(f)
+}
+
+// atomicWrite streams through write into a temporary sibling of path and
+// renames it into place on success.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

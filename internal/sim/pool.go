@@ -1,0 +1,53 @@
+package sim
+
+import "runtime"
+
+// Pool bounds the number of CPU-heavy jobs (system simulations, annealing
+// passes) running concurrently. The experiment harness shares one Pool per
+// Suite so that fanning out many pipelines does not oversubscribe the host:
+// any number of goroutines may queue work, at most cap(sem) of them compute
+// at once.
+//
+// A nil *Pool is valid and runs every job inline, which keeps call sites
+// free of nil checks and makes serial execution (-j 1 semantics with no
+// pool at all) trivially available.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting n concurrent jobs; n < 1 is clamped to 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// DefaultPool sizes the pool to GOMAXPROCS, the right bound for the
+// pure-CPU simulation jobs it gates.
+func DefaultPool() *Pool {
+	return NewPool(runtime.GOMAXPROCS(0))
+}
+
+// Size reports the admission bound (1 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.sem)
+}
+
+// Do runs fn once an admission slot is free and releases the slot when fn
+// returns. Callers must not call Do from inside fn (the pool is a simple
+// semaphore; nested acquisition can deadlock when the pool is saturated
+// with parents waiting on children). The harness always acquires slots for
+// leaf jobs only.
+func (p *Pool) Do(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				for j := 0; j < 1000; j++ { // hold the slot briefly
+					_ = j
+				}
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("observed %d concurrent jobs in a pool of 3", got)
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool Size = %d", p.Size())
+	}
+	ran := false
+	p.Do(func() { ran = true })
+	if !ran {
+		t.Error("nil pool did not run the job")
+	}
+}
+
+func TestPoolClampsToOne(t *testing.T) {
+	if got := NewPool(0).Size(); got != 1 {
+		t.Errorf("NewPool(0).Size() = %d, want 1", got)
+	}
+	if got := NewPool(-5).Size(); got != 1 {
+		t.Errorf("NewPool(-5).Size() = %d, want 1", got)
+	}
+}
