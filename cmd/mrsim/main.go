@@ -5,15 +5,24 @@
 //
 //	mrsim -app wc -system vfi-winoc [-strategy max-wireless] [-vfi1]
 //	mrsim -app kmeans -real -scale 0.05
+//	mrsim -app wc -real -trace trace.json -manifest manifest.json
+//
+// -j and -cache mirror the reproduce flags: -j bounds the concurrent
+// simulations of the pipeline build, -cache points at the shared design
+// cache ("auto" = the user cache dir, "" = disabled). -trace, -manifest,
+// -v and -debug-addr are the usual telemetry flags; none of them touches
+// stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"wivfi/internal/apps"
 	"wivfi/internal/expt"
+	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 )
 
@@ -26,14 +35,42 @@ func main() {
 		real     = flag.Bool("real", false, "run the real MapReduce implementation instead of the simulator")
 		scale    = flag.Float64("scale", 0.05, "input scale for -real (1.0 = paper-shaped datasets)")
 		workers  = flag.Int("workers", 8, "worker goroutines for -real")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "auto", `design cache dir ("auto" = user cache dir, "" = disabled)`)
 	)
+	cli := obs.NewCLI(flag.CommandLine)
 	flag.Parse()
+	if err := cli.Start("mrsim"); err != nil {
+		fatal(err)
+	}
+	if *jobs <= 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
+	cacheDir := *cache
+	if cacheDir == "auto" {
+		cacheDir = expt.DefaultCacheDir()
+	}
+	cfg := expt.DefaultConfig()
+	finish := func(suite *expt.Suite) {
+		if err := cli.Finish(func(m *obs.Manifest) {
+			m.Jobs = *jobs
+			m.ConfigHash = expt.ConfigHash(cfg)
+			if suite != nil {
+				m.CacheDir = cacheDir
+				cs := suite.CacheStats()
+				m.Cache = &obs.CacheSummary{Hits: cs.Hits, Misses: cs.Misses, CorruptEvicted: cs.CorruptEvicted}
+			}
+		}); err != nil {
+			fatal(err)
+		}
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
 		fatal(err)
 	}
 	if *real {
+		obs.Logf("mrsim: running real %s at scale %g with %d workers", app.Name, *scale, *workers)
 		res, err := app.RunReal(*scale, *workers)
 		if err != nil {
 			fatal(err)
@@ -42,10 +79,12 @@ func main() {
 		fmt.Printf("phases: split=%v map=%v reduce=%v merge=%v; %d tasks, %d steals\n",
 			res.Stats.SplitTime, res.Stats.MapTime, res.Stats.ReduceTime, res.Stats.MergeTime,
 			res.Stats.Tasks, res.Stats.Steals)
+		finish(nil)
 		return
 	}
 
-	suite := expt.NewSuite(expt.DefaultConfig())
+	suite := expt.NewSuite(cfg,
+		expt.WithParallelism(*jobs), expt.WithCacheDir(cacheDir))
 	pl, err := suite.Pipeline(app.Name)
 	if err != nil {
 		fatal(err)
@@ -86,6 +125,7 @@ func main() {
 		r.ExecSeconds, r.TotalJ(), r.CoreDynamicJ, r.CoreLeakageJ, r.NetworkJ, r.EDP())
 	e, en, edp := run.Report.Relative(pl.Baseline.Report)
 	fmt.Printf("vs NVFI mesh: exec %.3fx, energy %.3fx, EDP %.3fx\n", e, en, edp)
+	finish(suite)
 }
 
 func fatal(err error) {

@@ -7,10 +7,16 @@
 //	reproduce [-j N] [-cache dir] [-table1] [-table2] [-fig2] [-fig4]
 //	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
 //	          [-summary]
+//	          [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
 //
 // -j bounds the number of concurrent simulations (default GOMAXPROCS);
 // output is byte-identical whatever the value. -cache points at the design
 // cache directory ("auto" = the user cache dir, "" = disabled).
+//
+// Telemetry never touches stdout: -trace writes a Chrome trace_event JSON
+// file, -manifest a machine-readable run summary, -v progress lines on
+// stderr, and -debug-addr serves net/http/pprof and expvar. The figure
+// output is byte-identical with or without any of them.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"wivfi/internal/expt"
+	"wivfi/internal/obs"
 )
 
 func main() {
@@ -41,9 +49,18 @@ func main() {
 		wifail   = flag.Bool("wifail", false, "extension: wireless-interface failure robustness")
 		margins  = flag.Bool("margins", false, "sensitivity: V/F-selection margin sweep")
 	)
+	cli := obs.NewCLI(flag.CommandLine)
 	flag.Parse()
 	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
 		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cli.Start("reproduce"); err != nil {
+		fail(err)
+	}
 
 	if *jobs <= 0 {
 		*jobs = runtime.GOMAXPROCS(0)
@@ -52,12 +69,10 @@ func main() {
 	if cacheDir == "auto" {
 		cacheDir = expt.DefaultCacheDir()
 	}
-	suite := expt.NewSuite(expt.DefaultConfig(),
+	cfg := expt.DefaultConfig()
+	suite := expt.NewSuite(cfg,
 		expt.WithParallelism(*jobs), expt.WithCacheDir(cacheDir))
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
-		os.Exit(1)
-	}
+	obs.Logf("reproduce: -j %d, cache %q, config %s", *jobs, cacheDir, expt.ConfigHash(cfg))
 
 	// Build every pipeline this invocation needs up front, -j wide; the
 	// drivers below then render from warm pipelines in a fixed order.
@@ -89,117 +104,145 @@ func main() {
 		}
 	}
 	if len(prewarm) > 0 {
-		if err := suite.Prewarm(prewarm...); err != nil {
+		obs.Logf("reproduce: prewarming %d pipeline(s): %s", len(prewarm), strings.Join(prewarm, " "))
+		sp := obs.StartSpan("prewarm", strings.Join(prewarm, " "))
+		err := suite.Prewarm(prewarm...)
+		sp.End()
+		if err != nil {
 			fail(err)
 		}
 	}
 
-	if all || *table1 {
-		fmt.Print(expt.FormatTable1(expt.Table1()))
-		fmt.Println()
+	// Each section prints its formatted block followed (except -summary,
+	// which historically omits it) by a blank separator line. Rendering
+	// through this table keeps stdout byte-for-byte what the per-section
+	// if-blocks used to produce, telemetry or not.
+	sections := []struct {
+		name    string
+		enabled bool
+		newline bool
+		render  func() (string, error)
+	}{
+		{"table1", all || *table1, true, func() (string, error) {
+			return expt.FormatTable1(expt.Table1()), nil
+		}},
+		{"table2", all || *table2, true, func() (string, error) {
+			rows, err := suite.Table2()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatTable2(rows), nil
+		}},
+		{"fig2", all || *fig2, true, func() (string, error) {
+			rows, err := suite.Fig2()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig2(rows), nil
+		}},
+		{"fig4", all || *fig4, true, func() (string, error) {
+			rows, err := suite.Fig4()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig4(rows), nil
+		}},
+		{"fig5", all || *fig5, true, func() (string, error) {
+			rows, err := suite.Fig5()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig5(rows), nil
+		}},
+		{"fig6", all || *fig6, true, func() (string, error) {
+			rows, err := suite.Fig6()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig6(rows), nil
+		}},
+		{"fig7", all || *fig7, true, func() (string, error) {
+			rows, err := suite.Fig7()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig7(rows), nil
+		}},
+		{"fig8", all || *fig8, true, func() (string, error) {
+			rows, err := suite.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatFig8(rows), nil
+		}},
+		{"kintra", all || *kintra, true, func() (string, error) {
+			rows, err := suite.KIntraSweep()
+			if err != nil {
+				return "", err
+			}
+			return expt.MinKIntraNote() + expt.FormatKIntra(rows), nil
+		}},
+		{"stealing", all || *stealing, true, func() (string, error) {
+			st, err := expt.RunStealingStudy()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatStealing(st), nil
+		}},
+		{"phased", all || *phased, true, func() (string, error) {
+			rows, err := suite.PhaseAdaptiveStudy()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatPhased(rows), nil
+		}},
+		{"wifail", all || *wifail, true, func() (string, error) {
+			rows, err := suite.WIFailureStudy("wc", []int{0, 3, 6, 12})
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatWIFailure(rows), nil
+		}},
+		{"margins", all || *margins, true, func() (string, error) {
+			rows, err := suite.MarginSweep("kmeans", []float64{0.15, 0.25, 0.35, 0.45, 0.65})
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatMargin(rows), nil
+		}},
+		{"summary", all || *summary, false, func() (string, error) {
+			rows, err := suite.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatSummary(expt.Summarize(rows)), nil
+		}},
 	}
-	if all || *table2 {
-		rows, err := suite.Table2()
+	for _, sec := range sections {
+		if !sec.enabled {
+			continue
+		}
+		sp := obs.StartSpan("render", sec.name)
+		out, err := sec.render()
+		sp.End()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(expt.FormatTable2(rows))
-		fmt.Println()
-	}
-	if all || *fig2 {
-		rows, err := suite.Fig2()
-		if err != nil {
-			fail(err)
+		fmt.Print(out)
+		if sec.newline {
+			fmt.Println()
 		}
-		fmt.Print(expt.FormatFig2(rows))
-		fmt.Println()
 	}
-	if all || *fig4 {
-		rows, err := suite.Fig4()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatFig4(rows))
-		fmt.Println()
-	}
-	if all || *fig5 {
-		rows, err := suite.Fig5()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatFig5(rows))
-		fmt.Println()
-	}
-	if all || *fig6 {
-		rows, err := suite.Fig6()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatFig6(rows))
-		fmt.Println()
-	}
-	if all || *fig7 {
-		rows, err := suite.Fig7()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatFig7(rows))
-		fmt.Println()
-	}
-	if all || *fig8 {
-		rows, err := suite.Fig8()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatFig8(rows))
-		fmt.Println()
-	}
-	if all || *kintra {
-		fmt.Print(expt.MinKIntraNote())
-		rows, err := suite.KIntraSweep()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatKIntra(rows))
-		fmt.Println()
-	}
-	if all || *stealing {
-		st, err := expt.RunStealingStudy()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatStealing(st))
-		fmt.Println()
-	}
-	if all || *phased {
-		rows, err := suite.PhaseAdaptiveStudy()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatPhased(rows))
-		fmt.Println()
-	}
-	if all || *wifail {
-		rows, err := suite.WIFailureStudy("wc", []int{0, 3, 6, 12})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatWIFailure(rows))
-		fmt.Println()
-	}
-	if all || *margins {
-		rows, err := suite.MarginSweep("kmeans", []float64{0.15, 0.25, 0.35, 0.45, 0.65})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatMargin(rows))
-		fmt.Println()
-	}
-	if all || *summary {
-		rows, err := suite.Fig8()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(expt.FormatSummary(expt.Summarize(rows)))
+
+	cs := suite.CacheStats()
+	obs.Logf("reproduce: design cache: %d hit(s), %d miss(es), %d corrupt evicted",
+		cs.Hits, cs.Misses, cs.CorruptEvicted)
+	if err := cli.Finish(func(m *obs.Manifest) {
+		m.Jobs = *jobs
+		m.ConfigHash = expt.ConfigHash(cfg)
+		m.CacheDir = cacheDir
+		m.Cache = &obs.CacheSummary{Hits: cs.Hits, Misses: cs.Misses, CorruptEvicted: cs.CorruptEvicted}
+	}); err != nil {
+		fail(err)
 	}
 }

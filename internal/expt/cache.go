@@ -4,10 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"wivfi/internal/obs"
 	"wivfi/internal/platform"
 	"wivfi/internal/vfi"
 )
@@ -28,6 +32,63 @@ import (
 // meaning of the cached artifacts changes (e.g. the profile definition or
 // the design flow itself).
 const cacheSchemaVersion = 1
+
+// Process-wide cache outcome counters (the per-Suite cacheStats below
+// scope the same outcomes to one suite for its end-of-run summary).
+var (
+	cacheHitCounter     = obs.NewCounter("expt.cache.hits")
+	cacheMissCounter    = obs.NewCounter("expt.cache.misses")
+	cacheCorruptCounter = obs.NewCounter("expt.cache.corrupt_evicted")
+)
+
+// cacheOutcome classifies one loadDesign attempt.
+type cacheOutcome int
+
+const (
+	// cacheMiss: no entry on disk (or no usable key) — the clean cold path.
+	cacheMiss cacheOutcome = iota
+	// cacheHit: the full entry loaded and validated.
+	cacheHit
+	// cacheCorrupt: an entry existed but was unreadable, incomplete or
+	// schema-mismatched; it has been evicted from disk.
+	cacheCorrupt
+)
+
+// cacheStats counts one suite's cache outcomes.
+type cacheStats struct {
+	hits, misses, corrupt atomic.Int64
+}
+
+// count records one outcome on both the suite-local stats (when non-nil)
+// and the process-wide counters.
+func (s *cacheStats) count(o cacheOutcome) {
+	switch o {
+	case cacheHit:
+		cacheHitCounter.Add(1)
+		if s != nil {
+			s.hits.Add(1)
+		}
+	case cacheMiss:
+		cacheMissCounter.Add(1)
+		if s != nil {
+			s.misses.Add(1)
+		}
+	case cacheCorrupt:
+		cacheCorruptCounter.Add(1)
+		if s != nil {
+			s.corrupt.Add(1)
+		}
+	}
+}
+
+// CacheStats is a point-in-time snapshot of a suite's design-cache
+// outcomes, surfaced in the reproduce end-of-run summary and the run
+// manifest.
+type CacheStats struct {
+	Hits           int64
+	Misses         int64
+	CorruptEvicted int64
+}
 
 // planMeta is the on-disk schema for the vfi.Plan fields that are not
 // covered by the two VFIConfig files.
@@ -64,34 +125,46 @@ func entryDir(cacheDir string, cfg Config, appName string) (string, error) {
 	return filepath.Join(cacheDir, appName+"-"+key), nil
 }
 
-// loadDesign returns the cached (profile, plan) for the key, with ok=false
-// on any miss: absent entry, unreadable file, schema mismatch or
-// validation failure. A damaged entry is treated as a miss (and will be
-// rewritten), never as an error.
-func loadDesign(cacheDir string, cfg Config, appName string) (platform.Profile, vfi.Plan, bool) {
+// loadDesign returns the cached (profile, plan) for the key plus the
+// outcome class. An absent entry is a clean miss; a present-but-damaged
+// entry (unreadable file, incomplete write, schema mismatch, validation
+// failure) is classified corrupt and evicted from disk so the rebuilt
+// design is rewritten into a clean slot. Damage is never an error — it
+// only costs recomputation.
+func loadDesign(cacheDir string, cfg Config, appName string) (platform.Profile, vfi.Plan, cacheOutcome) {
 	dir, err := entryDir(cacheDir, cfg, appName)
 	if err != nil {
-		return platform.Profile{}, vfi.Plan{}, false
+		return platform.Profile{}, vfi.Plan{}, cacheMiss
+	}
+	// The profile is written first and read first: if it does not exist
+	// the entry was never (fully) created — a clean miss. Any later
+	// failure means a damaged entry.
+	corrupt := func() (platform.Profile, vfi.Plan, cacheOutcome) {
+		os.RemoveAll(dir) // best effort; a read-only cache just stays damaged
+		return platform.Profile{}, vfi.Plan{}, cacheCorrupt
 	}
 	prof, err := platform.LoadProfile(filepath.Join(dir, "profile.json"))
 	if err != nil {
-		return platform.Profile{}, vfi.Plan{}, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return platform.Profile{}, vfi.Plan{}, cacheMiss
+		}
+		return corrupt()
 	}
 	vfi1, err := platform.LoadVFIConfig(filepath.Join(dir, "vfi1.json"))
 	if err != nil {
-		return platform.Profile{}, vfi.Plan{}, false
+		return corrupt()
 	}
 	vfi2, err := platform.LoadVFIConfig(filepath.Join(dir, "vfi2.json"))
 	if err != nil {
-		return platform.Profile{}, vfi.Plan{}, false
+		return corrupt()
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "plan.json"))
 	if err != nil {
-		return platform.Profile{}, vfi.Plan{}, false
+		return corrupt()
 	}
 	var meta planMeta
 	if err := json.Unmarshal(raw, &meta); err != nil || meta.Version != cacheSchemaVersion {
-		return platform.Profile{}, vfi.Plan{}, false
+		return corrupt()
 	}
 	plan := vfi.Plan{
 		VFI1:               vfi1,
@@ -101,7 +174,7 @@ func loadDesign(cacheDir string, cfg Config, appName string) (platform.Profile, 
 		ClusterCost:        meta.ClusterCost,
 		HomogeneousPattern: meta.HomogeneousPattern,
 	}
-	return prof, plan, true
+	return prof, plan, cacheHit
 }
 
 // saveDesign writes one cache entry, best-effort: it returns the first
@@ -149,6 +222,18 @@ func saveDesign(cacheDir string, cfg Config, appName string, prof platform.Profi
 		return err
 	}
 	return os.Rename(tmp.Name(), filepath.Join(dir, "plan.json"))
+}
+
+// ConfigHash returns the short hex digest identifying cfg — the same
+// SHA-256-based key that scopes the design cache, computed without a
+// benchmark name. Run manifests carry it so before/after comparisons can
+// verify they measured the same configuration.
+func ConfigHash(cfg Config) string {
+	key, err := cacheKey(cfg, "")
+	if err != nil {
+		return ""
+	}
+	return key
 }
 
 // DefaultCacheDir returns the conventional location of the design cache

@@ -17,9 +17,9 @@ func TestDesignCacheRoundTrip(t *testing.T) {
 	if err := saveDesign(dir, s.Config, "mm", pl.Profile, pl.Plan); err != nil {
 		t.Fatal(err)
 	}
-	prof, plan, ok := loadDesign(dir, s.Config, "mm")
-	if !ok {
-		t.Fatal("cache miss immediately after save")
+	prof, plan, outcome := loadDesign(dir, s.Config, "mm")
+	if outcome != cacheHit {
+		t.Fatalf("outcome = %v immediately after save, want cacheHit", outcome)
 	}
 	if !reflect.DeepEqual(prof, pl.Profile) {
 		t.Error("profile changed across the cache round trip")
@@ -77,8 +77,58 @@ func TestCorruptCacheEntryIsAMiss(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(ed, "plan.json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := loadDesign(dir, s.Config, "mm"); ok {
-		t.Error("corrupt plan.json treated as a cache hit")
+	if _, _, outcome := loadDesign(dir, s.Config, "mm"); outcome != cacheCorrupt {
+		t.Errorf("corrupt plan.json classified %v, want cacheCorrupt", outcome)
+	}
+	// The damaged entry must have been evicted, so the next load is a
+	// clean miss rather than corrupt again.
+	if _, err := os.Stat(ed); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry not evicted from disk (stat err = %v)", err)
+	}
+	if _, _, outcome := loadDesign(dir, s.Config, "mm"); outcome != cacheMiss {
+		t.Errorf("post-eviction load classified %v, want cacheMiss", outcome)
+	}
+}
+
+// TestCacheStatsClassifyOutcomes drives a suite through a miss, a hit and a
+// corrupt eviction and checks the per-suite tallies surfaced to the
+// reproduce summary and manifest.
+func TestCacheStatsClassifyOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a pipeline three times")
+	}
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+
+	s1 := NewSuite(cfg, WithCacheDir(dir))
+	if _, err := s1.Pipeline("wc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.CacheStats(); got != (CacheStats{Misses: 1}) {
+		t.Errorf("cold suite stats = %+v, want 1 miss", got)
+	}
+
+	s2 := NewSuite(cfg, WithCacheDir(dir))
+	if _, err := s2.Pipeline("wc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.CacheStats(); got != (CacheStats{Hits: 1}) {
+		t.Errorf("warm suite stats = %+v, want 1 hit", got)
+	}
+
+	ed, err := entryDir(dir, cfg, "wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(ed, "vfi2.json"), 3); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewSuite(cfg, WithCacheDir(dir))
+	if _, err := s3.Pipeline("wc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.CacheStats(); got != (CacheStats{CorruptEvicted: 1}) {
+		t.Errorf("corrupt-entry suite stats = %+v, want 1 corrupt eviction", got)
 	}
 }
 

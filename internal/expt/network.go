@@ -91,7 +91,7 @@ func (s *Suite) KIntraSweep() ([]KIntraRow, error) {
 			wg.Add(1)
 			go func(i, v int, pl *Pipeline, kIntra, kInter float64) {
 				defer wg.Done()
-				s.pool.Do(func() {
+				s.pool.DoNamed("sim:kintra-sweep", pl.App.Name, func() {
 					cfg := s.Config.Build
 					cfg.SmallWorld.KIntra = kIntra
 					cfg.SmallWorld.KInter = kInter

@@ -60,7 +60,7 @@ func (s *Suite) PhaseAdaptiveStudy() ([]PhasedRow, error) {
 			wg.Add(1)
 			go func(i, m int, pl *Pipeline, mode sim.PhaseUtilMode, meshSys *sim.System) {
 				defer wg.Done()
-				s.pool.Do(func() {
+				s.pool.DoNamed("sim:phased-dvfs", pl.App.Name, func() {
 					configs := sim.PhaseConfigs(pl.Baseline, pl.Plan.VFI2, table, s.Config.VFI.FreqMargin, mode)
 					phased, err := sim.RunPhased(pl.Workload, meshSys, configs, sim.DefaultDVFSTransition())
 					if err != nil {

@@ -48,7 +48,7 @@ func (s *Suite) MarginSweep(appName string, margins []float64) ([]MarginRow, err
 		wg.Add(1)
 		go func(i int, m float64) {
 			defer wg.Done()
-			s.pool.Do(func() {
+			s.pool.DoNamed("sim:margin-sweep", appName, func() {
 				opts := s.Config.VFI
 				opts.FreqMargin = m
 				plan, err := vfi.Design(pl.Profile, opts)

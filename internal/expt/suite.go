@@ -19,8 +19,10 @@ package expt
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"wivfi/internal/apps"
+	"wivfi/internal/obs"
 	"wivfi/internal/platform"
 	"wivfi/internal/sim"
 	"wivfi/internal/vfi"
@@ -73,16 +75,24 @@ var buildHook func(name string)
 // BuildPipeline runs the full flow for one benchmark, serially and without
 // a disk cache. The Suite path adds coalescing, fan-out and caching.
 func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
-	return buildPipeline(cfg, app, nil, "")
+	return buildPipeline(cfg, app, nil, "", nil)
 }
 
 // buildPipeline runs the design flow and then fans the five independent
 // system simulations (baseline, VFI 1 mesh, VFI 2 mesh, two WiNoC
 // placements) out over the pool. A nil pool runs everything inline.
-func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (*Pipeline, error) {
+func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, stats *cacheStats) (*Pipeline, error) {
 	if buildHook != nil {
 		buildHook(app.Name)
 	}
+	// One orchestration track per benchmark; the leaf simulations below
+	// trace onto per-pool-slot tracks instead.
+	track := int32(0)
+	if obs.Enabled() {
+		track = obs.TrackFor("pipeline-" + app.Name)
+	}
+	pspan := obs.StartSpanOn(track, "pipeline", app.Name)
+	defer pspan.End()
 	w, err := app.Workload(cfg.Build.Chip.NumCores())
 	if err != nil {
 		return nil, fmt.Errorf("expt: %s workload: %w", app.Name, err)
@@ -91,7 +101,9 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (
 	// Steps 1-4 (Fig. 3): characterize on the plain non-VFI system, then
 	// cluster, assign V/F and re-assign for bottlenecks — or reload both
 	// artifacts from the config-keyed disk cache.
-	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir)
+	dspan := obs.StartSpanOn(track, "design-flow", app.Name)
+	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir, stats)
+	dspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -111,16 +123,17 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (
 	// without changing the result.
 	var wiMinHop, wiMaxWireless *sim.RunResult
 	jobs := []struct {
+		stage string
 		dst   **sim.RunResult
 		build func() (*sim.System, error)
 	}{
-		{&pl.Baseline, func() (*sim.System, error) { return sim.NVFIMeshMapped(cfg.Build, prof.Traffic) }},
-		{&pl.VFI1Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI1, prof.Traffic) }},
-		{&pl.VFI2Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI2, prof.Traffic) }},
-		{&wiMinHop, func() (*sim.System, error) {
+		{"sim:nvfi-mesh", &pl.Baseline, func() (*sim.System, error) { return sim.NVFIMeshMapped(cfg.Build, prof.Traffic) }},
+		{"sim:vfi1-mesh", &pl.VFI1Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI1, prof.Traffic) }},
+		{"sim:vfi2-mesh", &pl.VFI2Mesh, func() (*sim.System, error) { return sim.VFIMesh(cfg.Build, plan.VFI2, prof.Traffic) }},
+		{"sim:winoc-min-hop", &wiMinHop, func() (*sim.System, error) {
 			return sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, sim.MinHop)
 		}},
-		{&wiMaxWireless, func() (*sim.System, error) {
+		{"sim:winoc-max-wireless", &wiMaxWireless, func() (*sim.System, error) {
 			return sim.VFIWiNoC(cfg.Build, plan.VFI2, prof.Traffic, sim.MaxWireless)
 		}},
 	}
@@ -128,9 +141,9 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (
 	var wg sync.WaitGroup
 	for i, job := range jobs {
 		wg.Add(1)
-		go func(i int, dst **sim.RunResult, build func() (*sim.System, error)) {
+		go func(i int, stage string, dst **sim.RunResult, build func() (*sim.System, error)) {
 			defer wg.Done()
-			pool.Do(func() {
+			pool.DoNamed(stage, app.Name, func() {
 				sys, err := build()
 				if err != nil {
 					errs[i] = err
@@ -143,7 +156,7 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (
 				}
 				*dst = res
 			})
-		}(i, job.dst, job.build)
+		}(i, job.stage, job.dst, job.build)
 	}
 	wg.Wait()
 	for _, err := range errs { // first error in fixed job order, deterministically
@@ -164,15 +177,17 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (
 // designFlow produces the profile and VFI plan, consulting the disk cache
 // when cacheDir is non-empty. Cache writes are best-effort: a read-only or
 // full disk degrades to recomputation, never to failure.
-func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cacheDir string) (platform.Profile, vfi.Plan, bool, error) {
+func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cacheDir string, stats *cacheStats) (platform.Profile, vfi.Plan, bool, error) {
 	if cacheDir != "" {
-		if prof, plan, ok := loadDesign(cacheDir, cfg, app.Name); ok {
+		prof, plan, outcome := loadDesign(cacheDir, cfg, app.Name)
+		stats.count(outcome)
+		if outcome == cacheHit {
 			return prof, plan, true, nil
 		}
 	}
 	var prof platform.Profile
 	var probeErr error
-	pool.Do(func() {
+	pool.DoNamed("probe-sim", app.Name, func() {
 		probeSys, err := sim.NVFIMesh(cfg.Build)
 		if err != nil {
 			probeErr = err
@@ -190,7 +205,7 @@ func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cach
 	}
 	var plan vfi.Plan
 	var designErr error
-	pool.Do(func() {
+	pool.DoNamed("vfi-design", app.Name, func() {
 		plan, designErr = vfi.Design(prof, cfg.VFI)
 	})
 	if designErr != nil {
@@ -224,6 +239,7 @@ type Suite struct {
 
 	pool     *sim.Pool
 	cacheDir string
+	stats    cacheStats
 }
 
 // Option configures a Suite beyond its platform Config.
@@ -284,9 +300,23 @@ func (s *Suite) Pipeline(name string) (*Pipeline, error) {
 			e.err = err
 			return
 		}
-		e.pl, e.err = buildPipeline(s.Config, app, s.pool, s.cacheDir)
+		start := time.Now()
+		e.pl, e.err = buildPipeline(s.Config, app, s.pool, s.cacheDir, &s.stats)
+		if obs.Verbose() && e.err == nil {
+			obs.Logf("expt: pipeline %-6s built in %6.2fs (from cache: %v)",
+				name, time.Since(start).Seconds(), e.pl.FromCache)
+		}
 	})
 	return e.pl, e.err
+}
+
+// CacheStats snapshots the suite's design-cache outcomes so far.
+func (s *Suite) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:           s.stats.hits.Load(),
+		Misses:         s.stats.misses.Load(),
+		CorruptEvicted: s.stats.corrupt.Load(),
+	}
 }
 
 // Prewarm builds the named pipelines (all of AppOrder when none are given)

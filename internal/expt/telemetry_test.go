@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"testing"
+
+	"wivfi/internal/obs"
+)
+
+// renderFig45 renders Fig. 4 and Fig. 5 (three pipelines) from a suite into
+// the exact string cmd/reproduce would print for those sections.
+func renderFig45(t *testing.T, s *Suite) string {
+	t.Helper()
+	f4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FormatFig4(f4) + FormatFig5(f5)
+}
+
+// TestOutputIdenticalWithTelemetry is the zero-perturbation regression
+// test: building pipelines with a recorder installed (what -trace and
+// -manifest do) must render byte-identical figures to a suite built with
+// telemetry off.
+func TestOutputIdenticalWithTelemetry(t *testing.T) {
+	baseline := renderFig45(t, sharedSuite(t))
+
+	rec := obs.NewRecorder()
+	obs.Install(rec)
+	defer obs.Install(nil)
+	traced := renderFig45(t, NewSuite(DefaultConfig(), WithParallelism(2)))
+	if traced != baseline {
+		t.Errorf("figure output changed under telemetry:\nwith recorder:\n%s\nwithout:\n%s", traced, baseline)
+	}
+
+	// Sanity-check the recorder actually observed the instrumented build:
+	// three pipeline spans (pca, hist, mm) must have been captured.
+	m := rec.BuildManifest("test", nil)
+	var pipelines int
+	for _, st := range m.Stages {
+		if st.Name == "pipeline" {
+			pipelines = st.Count
+		}
+	}
+	if pipelines != 3 {
+		t.Errorf("recorder saw %d pipeline spans, want 3", pipelines)
+	}
+}

@@ -25,6 +25,20 @@ import (
 	"sync"
 	"time"
 	"unsafe"
+
+	"wivfi/internal/obs"
+)
+
+// Telemetry totals across every Run in the process. Counters are
+// allocation-free atomic adds; the spans and steal events below record
+// only while an obs recorder is installed (and are no-ops costing one
+// atomic load otherwise), so the engine's hot paths are unchanged when
+// telemetry is off.
+var (
+	mrRuns    = obs.NewCounter("mapreduce.runs")
+	mrTasks   = obs.NewCounter("mapreduce.tasks")
+	mrSteals  = obs.NewCounter("mapreduce.steals")
+	mrRecords = obs.NewCounter("mapreduce.records_mapped")
 )
 
 // Job describes one MapReduce computation over inputs of type In producing
@@ -145,8 +159,12 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	}
 	var stats Stats
 	stats.Workers = workers
+	mrRuns.Add(1)
+	runSpan := obs.StartSpan("mr.run", job.Name)
+	defer runSpan.End()
 
 	// ---- Split: divide records into tasks and deal them round-robin ----
+	splitSpan := obs.StartSpan("mr.split", job.Name)
 	splitStart := time.Now()
 	numTasks := workers * tpw
 	if numTasks > len(data) {
@@ -177,17 +195,25 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		q.tasks = append(q.tasks, i)
 	}
 	stats.SplitTime = time.Since(splitStart)
+	splitSpan.End()
+	mrTasks.Add(int64(numTasks))
 
 	// ---- Map: work-stealing workers with per-worker combiners ----
+	mapSpan := obs.StartSpan("mr.map", job.Name)
 	mapStart := time.Now()
 	locals := make([]map[K]V, workers)
 	steals := make([]int, workers)
 	records := make([]int64, workers)
+	// One trace track per worker goroutine ("mr-worker-03"); track 0 when
+	// telemetry is off, where every span/instant call is a no-op.
+	tracks := workerTracks(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wspan := obs.StartSpanOn(tracks[w], "mr.map.worker", job.Name)
+			defer wspan.End()
 			local := make(map[K]V)
 			emit := func(k K, v V) {
 				if old, ok := local[k]; ok {
@@ -217,12 +243,15 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 						continue // raced; rescan
 					}
 					steals[w]++
+					obs.Instant(tracks[w], "mr.steal", job.Name)
 				}
+				tspan := obs.StartSpanOn(tracks[w], "mr.task", job.Name)
 				lo, hi := bounds[idx][0], bounds[idx][1]
 				for r := lo; r < hi; r++ {
 					job.Map(data[r], emit)
 					records[w]++
 				}
+				tspan.End()
 			}
 			locals[w] = local
 		}(w)
@@ -233,8 +262,12 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		stats.RecordsMapped += records[w]
 	}
 	stats.MapTime = time.Since(mapStart)
+	mapSpan.End()
+	mrSteals.Add(int64(stats.Steals))
+	mrRecords.Add(stats.RecordsMapped)
 
 	// ---- Reduce: merge the per-worker maps in parallel partitions ----
+	reduceSpan := obs.StartSpan("mr.reduce", job.Name)
 	reduceStart := time.Now()
 	hash := job.KeyHash
 	if hash == nil {
@@ -249,6 +282,8 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		sg.Add(1)
 		go func(w int) {
 			defer sg.Done()
+			sspan := obs.StartSpanOn(tracks[w], "mr.reduce.shard", job.Name)
+			defer sspan.End()
 			shards := make([]map[K]V, workers)
 			for k, v := range locals[w] {
 				p := int(hash(k)) % workers
@@ -268,6 +303,8 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		rg.Add(1)
 		go func(p int) {
 			defer rg.Done()
+			pspan := obs.StartSpanOn(tracks[p], "mr.reduce.merge", job.Name)
+			defer pspan.End()
 			part := make(map[K]V)
 			for w := 0; w < workers; w++ {
 				for k, v := range sharded[w][p] {
@@ -283,8 +320,10 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	}
 	rg.Wait()
 	stats.ReduceTime = time.Since(reduceStart)
+	reduceSpan.End()
 
 	// ---- Merge: concatenate partitions and sort ----
+	mergeSpan := obs.StartSpan("mr.merge", job.Name)
 	mergeStart := time.Now()
 	var total int
 	for _, part := range partitions {
@@ -300,8 +339,38 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 		sort.Slice(pairs, func(i, j int) bool { return job.KeyLess(pairs[i].Key, pairs[j].Key) })
 	}
 	stats.MergeTime = time.Since(mergeStart)
+	mergeSpan.End()
 	stats.UniqueKeys = len(pairs)
 	return &Result[K, V]{Pairs: pairs}, stats, nil
+}
+
+// workerTracks returns the per-worker trace track ids ("mr-worker-03").
+// With telemetry disabled it returns a shared all-zero slice, allocating
+// nothing per run beyond the cached slice growth.
+func workerTracks(workers int) []int32 {
+	if !obs.Enabled() {
+		return zeroTracks(workers)
+	}
+	tracks := make([]int32, workers)
+	for w := range tracks {
+		tracks[w] = obs.TrackFor(fmt.Sprintf("mr-worker-%02d", w))
+	}
+	return tracks
+}
+
+// zeroTrackSlice is a grow-only cache of zeros for the disabled path.
+var zeroTrackSlice struct {
+	mu sync.Mutex
+	s  []int32
+}
+
+func zeroTracks(n int) []int32 {
+	zeroTrackSlice.mu.Lock()
+	defer zeroTrackSlice.mu.Unlock()
+	if len(zeroTrackSlice.s) < n {
+		zeroTrackSlice.s = make([]int32, n)
+	}
+	return zeroTrackSlice.s[:n]
 }
 
 // defaultKeyHash selects a shard hash for the key type: FNV-1a directly on

@@ -6,7 +6,18 @@ import (
 	"sort"
 
 	"wivfi/internal/energy"
+	"wivfi/internal/obs"
 	"wivfi/internal/topo"
+)
+
+// Telemetry totals across every DES invocation in the process (probe
+// runs, saturation sweeps, instrumented replays). Allocation-free atomic
+// adds; they never touch simulator output.
+var (
+	desRuns     = obs.NewCounter("noc.des.runs")
+	desPackets  = obs.NewCounter("noc.des.packets_delivered")
+	desCycles   = obs.NewCounter("noc.des.cycles")
+	desFlitHops = obs.NewCounter("noc.des.flit_hops")
 )
 
 // Packet is one network packet for the discrete simulator.
@@ -377,6 +388,10 @@ func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg 
 	if res.Delivered > 0 {
 		res.AvgLatencyCycles /= float64(res.Delivered)
 	}
+	desRuns.Add(1)
+	desPackets.Add(int64(res.Delivered))
+	desCycles.Add(res.Cycles)
+	desFlitHops.Add(res.TotalFlitHops)
 	if remaining > 0 {
 		return res, fmt.Errorf("noc: %d packets undelivered after %d cycles (deadlock or overload)", remaining, cfg.MaxCycles)
 	}

@@ -118,6 +118,52 @@ func TestPercentileRejectsBadP(t *testing.T) {
 	(&DESStats{Latencies: []int64{1}}).Percentile(2)
 }
 
+func TestPercentileRejectsNegativeP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(-0.1) did not panic")
+		}
+	}()
+	(&DESStats{Latencies: []int64{1}}).Percentile(-0.1)
+}
+
+// TestPercentileSingleSample: with one delivered packet every valid p,
+// including the p=0 edge whose index computation floors below zero, must
+// return that one sample.
+func TestPercentileSingleSample(t *testing.T) {
+	s := &DESStats{Latencies: []int64{42}}
+	for _, p := range []float64{0, 0.25, 0.5, 0.999, 1} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("Percentile(%v) = %d, want 42", p, got)
+		}
+	}
+}
+
+// TestHottestLinkSingleLinkTable: a single one-hop packet produces exactly
+// one link stat, which HottestLink must return (rather than the zero
+// LinkStat reserved for empty tables).
+func TestHottestLinkSingleLinkTable(t *testing.T) {
+	rt := meshRT(t, XY)
+	pkts := []Packet{{ID: 0, Src: 0, Dst: 1, Flits: 3}}
+	inst, err := RunDESInstrumented(rt, pkts, defaultNM(), DefaultDESConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Links) != 1 {
+		t.Fatalf("%d link stats for a one-hop packet, want 1", len(inst.Links))
+	}
+	hot := inst.HottestLink()
+	if hot != inst.Links[0] {
+		t.Errorf("HottestLink %+v != only link %+v", hot, inst.Links[0])
+	}
+	if hot.From != 0 || hot.To != 1 || hot.Flits != 3 {
+		t.Errorf("hottest link %+v, want 0->1 with 3 flits", hot)
+	}
+	if hot.Utilization <= 0 || hot.Utilization > 1 {
+		t.Errorf("utilization %v outside (0,1]", hot.Utilization)
+	}
+}
+
 func TestSaturationSweepLatencyGrowsWithLoad(t *testing.T) {
 	rt := meshRT(t, XY)
 	rates := []float64{0.01, 0.05, 0.15}

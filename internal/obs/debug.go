@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registrations (expvar.Publish panics on a
+// duplicate name).
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/ and expvar (including every obs counter and gauge, live)
+// under /debug/vars. It returns the bound address — pass "localhost:0"
+// for an ephemeral port — and serves until the process exits. This is the
+// -debug-addr flag of the CLIs.
+func ServeDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("wivfi_counters", expvar.Func(func() any { return CounterTotals() }))
+		expvar.Publish("wivfi_gauges", expvar.Func(func() any { return GaugeReadings() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // serves for the process lifetime
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// StageSummary aggregates every span sharing one name: the per-stage wall
+// times of the manifest. Wall time sums span durations, so concurrent
+// spans of one stage can total more than the run's elapsed time.
+type StageSummary struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MinMS   float64 `json:"min_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// CacheSummary is the design cache's outcome totals.
+type CacheSummary struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	CorruptEvicted int64 `json:"corrupt_evicted"`
+}
+
+// Manifest is the machine-readable summary of one harness run. It
+// round-trips through encoding/json; the -manifest flag of the CLIs
+// writes it next to the trace.
+type Manifest struct {
+	Command    string                  `json:"command"`
+	Args       []string                `json:"args,omitempty"`
+	StartTime  time.Time               `json:"start_time"`
+	WallMS     float64                 `json:"wall_ms"`
+	Jobs       int                     `json:"jobs,omitempty"`
+	ConfigHash string                  `json:"config_hash,omitempty"`
+	CacheDir   string                  `json:"cache_dir,omitempty"`
+	Cache      *CacheSummary           `json:"cache,omitempty"`
+	Stages     []StageSummary          `json:"stages"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]GaugeReading `json:"gauges"`
+}
+
+// BuildManifest aggregates the recorder's spans into per-stage timings
+// and snapshots every registered counter and gauge. The caller fills the
+// run-specific fields (Jobs, ConfigHash, CacheDir, Cache) before writing.
+func (r *Recorder) BuildManifest(command string, args []string) Manifest {
+	events, _ := r.snapshot()
+	byName := map[string]*StageSummary{}
+	for _, ev := range events {
+		if ev.kind != spanEvent {
+			continue
+		}
+		ms := float64(ev.dur) / 1e6
+		s, ok := byName[ev.name]
+		if !ok {
+			byName[ev.name] = &StageSummary{Name: ev.name, Count: 1, TotalMS: ms, MinMS: ms, MaxMS: ms}
+			continue
+		}
+		s.Count++
+		s.TotalMS += ms
+		if ms < s.MinMS {
+			s.MinMS = ms
+		}
+		if ms > s.MaxMS {
+			s.MaxMS = ms
+		}
+	}
+	stages := make([]StageSummary, 0, len(byName))
+	for _, s := range byName {
+		stages = append(stages, *s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
+	return Manifest{
+		Command:   command,
+		Args:      args,
+		StartTime: r.start,
+		WallMS:    float64(r.now()) / 1e6,
+		Stages:    stages,
+		Counters:  CounterTotals(),
+		Gauges:    GaugeReadings(),
+	}
+}
+
+// WriteManifestFile writes the manifest as indented JSON.
+func WriteManifestFile(path string, m Manifest) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,291 @@
+// Package obs is the run-telemetry layer of the experiment harness:
+// nestable tracing spans, named counters and gauges, and a per-run event
+// log that exports as Chrome trace_event JSON (chrome://tracing, Perfetto)
+// and as a machine-readable run manifest.
+//
+// Two guarantees shape the design:
+//
+//   - Zero perturbation of results. Telemetry never writes to stdout —
+//     progress lines go to stderr, traces and manifests go to files — so
+//     the byte-identical-output property of the deterministic harness
+//     holds with telemetry on or off.
+//
+//   - Zero-allocation no-op when disabled. Spans and instant events are
+//     recorded only while a Recorder is installed; with none installed,
+//     StartSpan/End/Instant/TrackFor return immediately without
+//     allocating, so instrumented hot paths (the DES inner loops, the
+//     MapReduce workers) cost an atomic load. Counters and gauges are
+//     always live: they are single atomic adds, allocation-free either
+//     way, which lets a run manifest report totals even for phases that
+//     ran before the recorder was installed.
+//
+// Call sites that must build a span name or detail string dynamically
+// should guard the formatting with Enabled(), since the fmt call itself
+// allocates regardless of recorder state.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// eventKind discriminates the recorder's event log entries.
+type eventKind uint8
+
+const (
+	spanEvent eventKind = iota
+	instantEvent
+)
+
+// event is one entry of the per-run log. Times are nanoseconds since the
+// recorder's start.
+type event struct {
+	kind   eventKind
+	name   string
+	detail string
+	track  int32
+	start  int64
+	dur    int64
+}
+
+// Recorder accumulates the event log of one run. It is safe for
+// concurrent use; install it with Install to activate recording.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	events   []event
+	tracks   []string
+	trackIDs map[string]int32
+}
+
+// NewRecorder returns an empty recorder whose clock starts now. Track 0
+// ("main") exists from the start; further tracks are created on demand by
+// TrackFor.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		tracks:   []string{"main"},
+		trackIDs: map[string]int32{"main": 0},
+	}
+}
+
+// active is the installed recorder, nil when telemetry is disabled.
+var active atomic.Pointer[Recorder]
+
+// Install makes r the active recorder (nil disables recording). Spans
+// started under a previous recorder finish against that recorder, so
+// swapping mid-run loses no events.
+func Install(r *Recorder) { active.Store(r) }
+
+// Enabled reports whether a recorder is installed. Use it to guard
+// telemetry-only work (building span details, looking up tracks) that
+// would otherwise allocate on the disabled path.
+func Enabled() bool { return active.Load() != nil }
+
+// now returns nanoseconds since the recorder's start.
+func (r *Recorder) now() int64 { return int64(time.Since(r.start)) }
+
+// TrackFor returns the id of the named track (a horizontal lane in the
+// trace viewer — one per pool slot, one per MapReduce worker), creating
+// it on first use. With no recorder installed it returns 0 and allocates
+// nothing.
+func TrackFor(name string) int32 {
+	r := active.Load()
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.trackIDs[name]; ok {
+		return id
+	}
+	id := int32(len(r.tracks))
+	r.tracks = append(r.tracks, name)
+	r.trackIDs[name] = id
+	return id
+}
+
+// Span is one timed interval. The zero Span is a valid no-op, which is
+// what StartSpan returns while telemetry is disabled.
+type Span struct {
+	rec    *Recorder
+	name   string
+	detail string
+	track  int32
+	start  int64
+}
+
+// StartSpan opens a span on track 0 ("main"). name is the aggregation key
+// (per-stage wall times in the manifest group by it); detail
+// distinguishes instances, e.g. the benchmark name.
+func StartSpan(name, detail string) Span { return StartSpanOn(0, name, detail) }
+
+// StartSpanOn opens a span on an explicit track. Returns a no-op span,
+// without allocating, when no recorder is installed.
+func StartSpanOn(track int32, name, detail string) Span {
+	r := active.Load()
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, name: name, detail: detail, track: track, start: r.now()}
+}
+
+// End closes the span and appends it to the event log. Safe on the zero
+// Span.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	end := s.rec.now()
+	s.rec.mu.Lock()
+	s.rec.events = append(s.rec.events, event{
+		kind: spanEvent, name: s.name, detail: s.detail,
+		track: s.track, start: s.start, dur: end - s.start,
+	})
+	s.rec.mu.Unlock()
+}
+
+// Instant records a zero-duration event (a steal, a cache eviction) on
+// the given track. No-op without a recorder.
+func Instant(track int32, name, detail string) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	ts := r.now()
+	r.mu.Lock()
+	r.events = append(r.events, event{
+		kind: instantEvent, name: name, detail: detail, track: track, start: ts,
+	})
+	r.mu.Unlock()
+}
+
+// ---- Counters and gauges -------------------------------------------------
+
+// registry holds every counter and gauge ever created, for manifest and
+// expvar snapshots. Metrics are package-level singletons in practice, so
+// the registry only grows.
+var registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+}
+
+// Counter is a monotonically named total. Always live: Add is a single
+// allocation-free atomic regardless of recorder state, so process-wide
+// totals (packets simulated, cache hits) are exact even when tracing is
+// off.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers a counter under name. Call once at package init.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	registry.mu.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a named level (e.g. pool jobs in flight) with a high-water
+// mark. Like counters, gauges are always live and allocation-free.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	max  atomic.Int64
+}
+
+// NewGauge registers a gauge under name. Call once at package init.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	registry.mu.Lock()
+	registry.gauges = append(registry.gauges, g)
+	registry.mu.Unlock()
+	return g
+}
+
+// Add moves the gauge by d (negative to decrease) and updates the
+// high-water mark.
+func (g *Gauge) Add(d int64) {
+	v := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// CounterTotals snapshots every registered counter. Duplicate names sum.
+func CounterTotals() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters))
+	for _, c := range registry.counters {
+		out[c.name] += c.v.Load()
+	}
+	return out
+}
+
+// GaugeReading is one gauge's snapshot.
+type GaugeReading struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// GaugeReadings snapshots every registered gauge.
+func GaugeReadings() map[string]GaugeReading {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]GaugeReading, len(registry.gauges))
+	for _, g := range registry.gauges {
+		out[g.name] = GaugeReading{Value: g.v.Load(), Max: g.max.Load()}
+	}
+	return out
+}
+
+// ---- Verbose progress ----------------------------------------------------
+
+// processStart anchors the elapsed-time prefix of Logf lines.
+var processStart = time.Now()
+
+var verbose atomic.Bool
+
+// SetVerbose switches the stderr progress stream (the -v flag) on or off.
+func SetVerbose(on bool) { verbose.Store(on) }
+
+// Verbose reports whether progress logging is on. Guard any Logf call
+// whose arguments are expensive to build.
+func Verbose() bool { return verbose.Load() }
+
+// Logf prints one timestamped progress line to stderr when verbose mode
+// is on. Never writes to stdout. Hot paths should guard calls with
+// Verbose() — the variadic boxing can allocate even when the line is
+// dropped.
+func Logf(format string, args ...any) {
+	if !verbose.Load() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[%9.3fs] %s\n", time.Since(processStart).Seconds(), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// The export format is the Chrome trace_event "JSON Object Format": an
+// object with a traceEvents array, loadable in chrome://tracing and
+// Perfetto. Spans become complete events (ph "X") with microsecond
+// timestamps, instants become ph "i", and every track gets a thread_name
+// metadata record so the viewer shows "pool-slot-03" or "mr-worker-01"
+// instead of a bare tid.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int32             `json:"tid"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// tracePID is the single synthetic process id of the trace.
+const tracePID = 1
+
+// snapshot copies the event log and track table under the lock.
+func (r *Recorder) snapshot() ([]event, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]event, len(r.events))
+	copy(events, r.events)
+	tracks := make([]string, len(r.tracks))
+	copy(tracks, r.tracks)
+	return events, tracks
+}
+
+// WriteChromeTrace writes the run's event log as trace_event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events, tracks := r.snapshot()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]chromeEvent, 0, len(events)+len(tracks))
+	for id, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: int32(id),
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name, Cat: "wivfi", PID: tracePID, TID: ev.track,
+			TS: float64(ev.start) / 1e3,
+		}
+		if ev.detail != "" {
+			ce.Args = map[string]string{"detail": ev.detail}
+		}
+		switch ev.kind {
+		case spanEvent:
+			ce.Phase = "X"
+			ce.Dur = float64(ev.dur) / 1e3
+		case instantEvent:
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTraceFile writes the trace to a file.
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,6 +1,22 @@
 package sim
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"wivfi/internal/obs"
+)
+
+// Telemetry: jobs admitted, total time jobs waited for a slot, and the
+// number in flight (with high-water mark). Counters are always live and
+// allocation-free; the spans in DoNamed record only while a recorder is
+// installed.
+var (
+	poolJobs      = obs.NewCounter("sim.pool.jobs")
+	poolQueueWait = obs.NewCounter("sim.pool.queue_wait_ns")
+	poolInFlight  = obs.NewGauge("sim.pool.in_flight")
+)
 
 // Pool bounds the number of CPU-heavy jobs (system simulations, annealing
 // passes) running concurrently. The experiment harness shares one Pool per
@@ -12,7 +28,10 @@ import "runtime"
 // free of nil checks and makes serial execution (-j 1 semantics with no
 // pool at all) trivially available.
 type Pool struct {
-	sem chan struct{}
+	// sem carries the slot ids 0..n-1; holding an id is holding an
+	// admission slot. The id keys the per-slot trace track, so a Chrome
+	// trace shows one lane per concurrent job.
+	sem chan int
 }
 
 // NewPool returns a pool admitting n concurrent jobs; n < 1 is clamped to 1.
@@ -20,7 +39,11 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	return &Pool{sem: make(chan struct{}, n)}
+	p := &Pool{sem: make(chan int, n)}
+	for i := 0; i < n; i++ {
+		p.sem <- i
+	}
+	return p
 }
 
 // DefaultPool sizes the pool to GOMAXPROCS, the right bound for the
@@ -42,12 +65,34 @@ func (p *Pool) Size() int {
 // semaphore; nested acquisition can deadlock when the pool is saturated
 // with parents waiting on children). The harness always acquires slots for
 // leaf jobs only.
-func (p *Pool) Do(fn func()) {
+func (p *Pool) Do(fn func()) { p.DoNamed("", "", fn) }
+
+// DoNamed is Do plus a tracing span: when a recorder is installed and
+// name is non-empty, fn's execution is recorded as a span named name
+// (detail distinguishes instances) on the track of the admitting pool
+// slot, so traces show one lane per concurrent simulation. With telemetry
+// disabled it behaves exactly like Do.
+func (p *Pool) DoNamed(name, detail string, fn func()) {
 	if p == nil {
+		if name != "" && obs.Enabled() {
+			sp := obs.StartSpan(name, detail)
+			defer sp.End()
+		}
 		fn()
 		return
 	}
-	p.sem <- struct{}{}
-	defer func() { <-p.sem }()
+	enqueued := time.Now()
+	slot := <-p.sem
+	poolQueueWait.Add(int64(time.Since(enqueued)))
+	poolJobs.Add(1)
+	poolInFlight.Add(1)
+	defer func() {
+		poolInFlight.Add(-1)
+		p.sem <- slot
+	}()
+	if name != "" && obs.Enabled() {
+		sp := obs.StartSpanOn(obs.TrackFor(fmt.Sprintf("pool-slot-%02d", slot)), name, detail)
+		defer sp.End()
+	}
 	fn()
 }
