@@ -4,8 +4,32 @@
 // the levels until they hit the Table 2 band targets, then prints the
 // converged constants. Run it after changing platform or network models to
 // re-derive the application calibration.
+//
+// The telemetry flags (-trace, -manifest, -v, -debug-addr) behave exactly
+// as in cmd/reproduce: they never touch stdout.
 package main
 
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wivfi/internal/obs"
+)
+
 func main() {
+	cli := obs.NewCLI(flag.CommandLine)
+	flag.Parse()
+	if err := cli.Start("calibrate"); err != nil {
+		fatal(err)
+	}
 	tune()
+	if err := cli.Finish(nil); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+	os.Exit(1)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wivfi/internal/apps"
+	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 	"wivfi/internal/stats"
 )
@@ -28,6 +29,7 @@ func tune() {
 	cfg := sim.DefaultBuildConfig()
 	base, _ := sim.NVFIMesh(cfg)
 	for _, app := range apps.All() {
+		sp := obs.StartSpan("calibrate", app.Name)
 		target := targets[app.Name]
 		levels, master := app.ReduceLevels()
 		for it := 0; it < 8; it++ {
@@ -69,5 +71,6 @@ func tune() {
 				break
 			}
 		}
+		sp.End()
 	}
 }

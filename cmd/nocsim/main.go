@@ -5,6 +5,10 @@
 // Usage:
 //
 //	nocsim -topo winoc -pattern uniform -inj 0.05 [-des] [-packets 2000]
+//	       [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
+//
+// The telemetry flags behave exactly as in cmd/reproduce: they never touch
+// stdout.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"wivfi/internal/energy"
 	"wivfi/internal/noc"
+	"wivfi/internal/obs"
 	"wivfi/internal/place"
 	"wivfi/internal/platform"
 	"wivfi/internal/topo"
@@ -30,7 +35,11 @@ func main() {
 		packets  = flag.Int("packets", 2000, "packet count for -des")
 		seed     = flag.Int64("seed", 1, "rng seed")
 	)
+	cli := obs.NewCLI(flag.CommandLine)
 	flag.Parse()
+	if err := cli.Start("nocsim"); err != nil {
+		fatal(err)
+	}
 
 	chip := platform.DefaultChip()
 	costs := noc.DefaultLinkCosts()
@@ -59,7 +68,9 @@ func main() {
 	traffic := buildTraffic(*pattern, n, *inj, rng)
 
 	nm := energy.DefaultNetworkModel()
+	sp := obs.StartSpan("analytic", tp.Name)
 	ana, err := noc.Analytic(rt, traffic, nm, noc.DefaultAnalyticConfig())
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +90,9 @@ func main() {
 				Inject: rng.Int63n(horizon + 1),
 			})
 		}
+		sp := obs.StartSpan("des", tp.Name)
 		res, err := noc.RunDESInstrumented(rt, pkts, nm, noc.DefaultDESConfig())
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -92,7 +105,9 @@ func main() {
 	}
 	if *sweep {
 		rates := []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3}
+		sp := obs.StartSpan("sweep", tp.Name)
 		points, err := noc.SaturationSweep(rt, rates, *packets, 4, nm, noc.DefaultDESConfig(), *seed)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +115,9 @@ func main() {
 		for _, pt := range points {
 			fmt.Printf("    inj=%.2f latency=%.1f cycles\n", pt.InjectionRate, pt.AvgLatency)
 		}
+	}
+	if err := cli.Finish(nil); err != nil {
+		fatal(err)
 	}
 }
 

@@ -7,16 +7,28 @@
 //	reproduce [-j N] [-cache dir] [-table1] [-table2] [-fig2] [-fig4]
 //	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
 //	          [-summary]
+//	          [-snapshot out.json] [-baseline ref.json] [-check]
+//	          [-report out.html]
 //	          [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
 //
 // -j bounds the number of concurrent simulations (default GOMAXPROCS);
 // output is byte-identical whatever the value. -cache points at the design
 // cache directory ("auto" = the user cache dir, "" = disabled).
 //
+// The fidelity flags drive the results-observability layer: -snapshot
+// serializes every figure and table row into one schema-versioned JSON
+// document, -baseline diffs that snapshot against a previously saved one,
+// -check exits non-zero when the paper scoreboard fails or the diff finds a
+// regression (naming the offending metrics on stderr), and -report writes a
+// self-contained HTML (or markdown, by extension) run report combining the
+// scoreboard, the diff, the figures and the run manifest. Any of them
+// collects the complete snapshot regardless of which figure flags are set.
+//
 // Telemetry never touches stdout: -trace writes a Chrome trace_event JSON
 // file, -manifest a machine-readable run summary, -v progress lines on
 // stderr, and -debug-addr serves net/http/pprof and expvar. The figure
-// output is byte-identical with or without any of them.
+// output is byte-identical with or without any of them, fidelity flags
+// included.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"strings"
 
 	"wivfi/internal/expt"
+	"wivfi/internal/fidelity"
 	"wivfi/internal/obs"
 )
 
@@ -48,9 +61,20 @@ func main() {
 		phased   = flag.Bool("phased", false, "extension: phase-adaptive DVFS controllers")
 		wifail   = flag.Bool("wifail", false, "extension: wireless-interface failure robustness")
 		margins  = flag.Bool("margins", false, "sensitivity: V/F-selection margin sweep")
+
+		snapshotPath = flag.String("snapshot", "", "write the full metrics snapshot (JSON)")
+		baselinePath = flag.String("baseline", "", "diff the snapshot against this baseline snapshot")
+		check        = flag.Bool("check", false, "exit non-zero on scoreboard failures or baseline regressions")
+		reportPath   = flag.String("report", "", "write a run report (.html, or .md by extension)")
 	)
 	cli := obs.NewCLI(flag.CommandLine)
 	flag.Parse()
+	wantFidelity := *snapshotPath != "" || *baselinePath != "" || *check || *reportPath != ""
+	if *reportPath != "" {
+		// the report embeds the run manifest, which needs a recorder even
+		// when no -trace/-manifest was asked for
+		cli.ForceRecorder()
+	}
 	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
 		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
 
@@ -78,7 +102,7 @@ func main() {
 	// drivers below then render from warm pipelines in a fixed order.
 	var prewarm []string
 	switch {
-	case all || *table2 || *fig6 || *fig7 || *fig8 || *kintra || *phased || *summary:
+	case all || wantFidelity || *table2 || *fig6 || *fig7 || *fig8 || *kintra || *phased || *summary:
 		prewarm = expt.AppOrder
 	default:
 		seen := map[string]bool{}
@@ -197,14 +221,14 @@ func main() {
 			return expt.FormatPhased(rows), nil
 		}},
 		{"wifail", all || *wifail, true, func() (string, error) {
-			rows, err := suite.WIFailureStudy("wc", []int{0, 3, 6, 12})
+			rows, err := suite.WIFailureStudy(expt.DefaultWIFailureApp, expt.DefaultWIFailures)
 			if err != nil {
 				return "", err
 			}
 			return expt.FormatWIFailure(rows), nil
 		}},
 		{"margins", all || *margins, true, func() (string, error) {
-			rows, err := suite.MarginSweep("kmeans", []float64{0.15, 0.25, 0.35, 0.45, 0.65})
+			rows, err := suite.MarginSweep(expt.DefaultMarginApp, expt.DefaultMargins)
 			if err != nil {
 				return "", err
 			}
@@ -234,15 +258,93 @@ func main() {
 		}
 	}
 
-	cs := suite.CacheStats()
-	obs.Logf("reproduce: design cache: %d hit(s), %d miss(es), %d corrupt evicted",
-		cs.Hits, cs.Misses, cs.CorruptEvicted)
-	if err := cli.Finish(func(m *obs.Manifest) {
+	// Fidelity runs after every section has printed: it re-reads the warm
+	// pipelines and writes only to files and stderr, so stdout above is
+	// byte-identical with or without it.
+	var fid *obs.FidelitySummary
+	var gate []string // what -check will report and exit non-zero on
+	customize := func(m *obs.Manifest) {
 		m.Jobs = *jobs
 		m.ConfigHash = expt.ConfigHash(cfg)
 		m.CacheDir = cacheDir
+		cs := suite.CacheStats()
 		m.Cache = &obs.CacheSummary{Hits: cs.Hits, Misses: cs.Misses, CorruptEvicted: cs.CorruptEvicted}
-	}); err != nil {
+		m.Fidelity = fid
+	}
+	if wantFidelity {
+		snap, err := expt.CollectSnapshot(suite)
+		if err != nil {
+			fail(err)
+		}
+		results := fidelity.Evaluate(snap, expt.PaperChecks())
+		tally := fidelity.Count(results)
+		fid = &obs.FidelitySummary{
+			SnapshotPath: *snapshotPath,
+			BaselinePath: *baselinePath,
+			ReportPath:   *reportPath,
+			Pass:         tally.Pass, Warn: tally.Warn, Fail: tally.Fail,
+		}
+		for _, r := range fidelity.Failures(results) {
+			gate = append(gate, fmt.Sprintf("scoreboard %s at %s: %s", r.ID, r.Addr(), r.Note))
+		}
+
+		var diff *fidelity.DiffReport
+		if *baselinePath != "" {
+			base, err := fidelity.LoadFile(*baselinePath)
+			if err != nil {
+				fail(err)
+			}
+			diff = fidelity.Diff(snap, base, fidelity.DiffOptions{})
+			regs := diff.Regressions()
+			fid.Regressions = len(regs)
+			fid.ConfigMismatch = diff.ConfigMismatch
+			if diff.ConfigMismatch {
+				gate = append(gate, fmt.Sprintf("baseline config hash %s does not match current %s",
+					diff.BaselineConfigHash, diff.CurrentConfigHash))
+			}
+			for _, f := range regs {
+				gate = append(gate, "baseline "+f.String())
+			}
+			obs.Logf("reproduce: baseline diff: %d metric(s) compared, %d regression(s)", diff.Compared, len(regs))
+		}
+
+		if *snapshotPath != "" {
+			if err := fidelity.WriteFile(*snapshotPath, snap); err != nil {
+				fail(err)
+			}
+			obs.Logf("reproduce: snapshot written to %s", *snapshotPath)
+		}
+		if *reportPath != "" {
+			data := fidelity.ReportData{
+				Title:        "wivfi reproduction report",
+				Snapshot:     snap,
+				Results:      results,
+				Diff:         diff,
+				BaselinePath: *baselinePath,
+				Manifest:     cli.BuildManifest(customize),
+			}
+			if err := fidelity.WriteReport(*reportPath, data); err != nil {
+				fail(err)
+			}
+			obs.Logf("reproduce: report written to %s", *reportPath)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce: scoreboard %d pass, %d warn, %d fail\n",
+			tally.Pass, tally.Warn, tally.Fail)
+	}
+
+	cs := suite.CacheStats()
+	obs.Logf("reproduce: design cache: %d hit(s), %d miss(es), %d corrupt evicted",
+		cs.Hits, cs.Misses, cs.CorruptEvicted)
+	if err := cli.Finish(customize); err != nil {
 		fail(err)
+	}
+	if len(gate) > 0 {
+		for _, g := range gate {
+			fmt.Fprintf(os.Stderr, "reproduce: %s\n", g)
+		}
+		if *check {
+			fmt.Fprintf(os.Stderr, "reproduce: -check failed: %d offending metric(s)\n", len(gate))
+			os.Exit(1)
+		}
 	}
 }

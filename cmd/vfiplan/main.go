@@ -5,6 +5,10 @@
 // Usage:
 //
 //	vfiplan -app pca [-islands 4] [-margin 0.35]
+//	        [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
+//
+// The telemetry flags behave exactly as in cmd/reproduce: they never touch
+// stdout.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"wivfi/internal/apps"
+	"wivfi/internal/obs"
 	"wivfi/internal/platform"
 	"wivfi/internal/sim"
 	"wivfi/internal/stats"
@@ -28,7 +33,11 @@ func main() {
 		loadProfile = flag.String("load-profile", "", "plan from a previously saved profile instead of re-profiling")
 		saveVFI     = flag.String("save-vfi", "", "write the final VFI 2 configuration to this JSON file")
 	)
+	cli := obs.NewCLI(flag.CommandLine)
 	flag.Parse()
+	if err := cli.Start("vfiplan"); err != nil {
+		fatal(err)
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
@@ -55,7 +64,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		sp := obs.StartSpan("probe-sim", app.Name)
 		res, err := sim.Run(w, probe)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -76,7 +87,9 @@ func main() {
 	opts := vfi.DefaultOptions()
 	opts.NumIslands = *islands
 	opts.FreqMargin = *margin
+	sp := obs.StartSpan("vfi-design", app.Name)
 	plan, err := vfi.Design(prof, opts)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -111,6 +124,9 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("VFI 2 configuration written to %s\n", *saveVFI)
+	}
+	if err := cli.Finish(nil); err != nil {
+		fatal(err)
 	}
 }
 

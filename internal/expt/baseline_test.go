@@ -1,0 +1,39 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wivfi/internal/fidelity"
+)
+
+// TestCommittedBaseline diffs a live snapshot against the golden baseline
+// committed at testdata/fidelity-baseline.json (repo root). The tolerance is
+// loose (1e-3 relative) so legitimate cross-machine floating-point drift
+// never trips it; anything it catches is a real model change. When a change
+// is intentional, regenerate with:
+//
+//	go run ./cmd/reproduce -cache "" -snapshot testdata/fidelity-baseline.json
+func TestCommittedBaseline(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "fidelity-baseline.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	base, err := fidelity.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fullSnapshot(t)
+	if base.ConfigHash != snap.ConfigHash {
+		t.Fatalf("baseline config hash %s != current %s — regenerate the baseline (see test comment)",
+			base.ConfigHash, snap.ConfigHash)
+	}
+	d := fidelity.Diff(snap, base, fidelity.DiffOptions{RelTol: 1e-3, AbsTol: 1e-6})
+	for _, f := range d.Regressions() {
+		t.Errorf("drift from committed baseline: %s", f)
+	}
+	if t.Failed() {
+		t.Log("if the change is intentional: go run ./cmd/reproduce -cache \"\" -snapshot testdata/fidelity-baseline.json")
+	}
+}

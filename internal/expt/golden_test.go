@@ -1,0 +1,150 @@
+package expt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden byte-for-byte.
+// The golden files lock the exact text cmd/reproduce prints, so an
+// accidental formatting change (or a telemetry path leaking onto stdout)
+// fails here before it invalidates anyone's saved output. Regenerate with
+// `go test ./internal/expt -run TestGolden -update`.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output drifted from %s:\n--- got ---\n%s--- want ---\n%s", name, path, got, want)
+	}
+}
+
+// TestGoldenStatic locks the renderers that need no simulation.
+func TestGoldenStatic(t *testing.T) {
+	checkGolden(t, "table1", FormatTable1(Table1()))
+	checkGolden(t, "kintra_note", MinKIntraNote())
+	st, err := RunStealingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stealing", FormatStealing(st))
+}
+
+// TestGoldenFigures locks every figure and table renderer against the
+// deterministic simulation results.
+func TestGoldenFigures(t *testing.T) {
+	s := sharedSuite(t)
+	sections := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"table2", func() (string, error) {
+			rows, err := s.Table2()
+			if err != nil {
+				return "", err
+			}
+			return FormatTable2(rows), nil
+		}},
+		{"fig2", func() (string, error) {
+			rows, err := s.Fig2()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig2(rows), nil
+		}},
+		{"fig4", func() (string, error) {
+			rows, err := s.Fig4()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig4(rows), nil
+		}},
+		{"fig5", func() (string, error) {
+			rows, err := s.Fig5()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig5(rows), nil
+		}},
+		{"fig6", func() (string, error) {
+			rows, err := s.Fig6()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig6(rows), nil
+		}},
+		{"fig7", func() (string, error) {
+			rows, err := s.Fig7()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig7(rows), nil
+		}},
+		{"fig8", func() (string, error) {
+			rows, err := s.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return FormatFig8(rows), nil
+		}},
+		{"summary", func() (string, error) {
+			rows, err := s.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return FormatSummary(Summarize(rows)), nil
+		}},
+	}
+	for _, sec := range sections {
+		out, err := sec.render()
+		if err != nil {
+			t.Fatalf("%s: %v", sec.name, err)
+		}
+		checkGolden(t, sec.name, out)
+	}
+}
+
+// TestGoldenStudies locks the heavier studies' renderers.
+func TestGoldenStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("studies are slow")
+	}
+	s := sharedSuite(t)
+
+	kin, err := s.KIntraSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "kintra", FormatKIntra(kin))
+
+	ph, err := s.PhaseAdaptiveStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "phased", FormatPhased(ph))
+
+	wf, err := s.WIFailureStudy(DefaultWIFailureApp, DefaultWIFailures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "wifail", FormatWIFailure(wf))
+
+	mg, err := s.MarginSweep(DefaultMarginApp, DefaultMargins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "margins", FormatMargin(mg))
+}

@@ -1,0 +1,208 @@
+package expt
+
+import (
+	"fmt"
+
+	"wivfi/internal/fidelity"
+)
+
+// PaperChecks returns the declarative scoreboard: every quantitative and
+// categorical claim of the paper this reproduction tracks, with two
+// tolerance bands. The tight band (pass) means the metric matches the paper;
+// the wide band (warn) is the documented reproduction-quality envelope —
+// EXPERIMENTS.md's damped deviations land there by design. Anything outside
+// the wide band fails and gates -check, so the scoreboard distinguishes
+// "known modeling gap" from "the reproduction broke".
+func PaperChecks() []fidelity.Check {
+	var checks []fidelity.Check
+	add := func(c fidelity.Check) { checks = append(checks, c) }
+
+	// Abstract headline numbers. The analytic platform damps the savings
+	// (19%/51% vs the paper's 33.7%/66.2%), so these sit in the warn band;
+	// the categorical claims (largest saving on kmeans) hold exactly.
+	add(fidelity.Check{
+		ID:      "headline.avg_edp_saving",
+		Detail:  "average WiNoC EDP saving vs NVFI mesh (paper: 33.7%)",
+		Section: "summary", Row: "headline", Value: "avg_edp_saving_pct",
+		Kind: fidelity.Near, Want: 33.7, PassTol: 5, WarnTol: 25,
+	})
+	add(fidelity.Check{
+		ID:      "headline.max_edp_saving",
+		Detail:  "maximum WiNoC EDP saving (paper: 66.2% on kmeans)",
+		Section: "summary", Row: "headline", Value: "max_edp_saving_pct",
+		Kind: fidelity.Near, Want: 66.2, PassTol: 8, WarnTol: 25,
+	})
+	add(fidelity.Check{
+		ID:      "headline.max_edp_saving_app",
+		Detail:  "benchmark with the largest EDP saving (paper: kmeans)",
+		Section: "summary", Row: "headline", Value: "max_edp_saving_app",
+		Kind: fidelity.LabelIs, WantLabel: "kmeans",
+	})
+	add(fidelity.Check{
+		ID:      "headline.max_exec_penalty",
+		Detail:  "maximum execution-time penalty of the WiNoC (paper: 3.22%)",
+		Section: "summary", Row: "headline", Value: "max_exec_penalty_pct",
+		Kind: fidelity.AtMost, Want: 3.22, WarnTol: 4.78,
+	})
+
+	// Fig. 8: on every benchmark the WiNoC beats the mesh on EDP, and the
+	// VFI mesh itself never loses to the NVFI baseline.
+	for _, app := range AppOrder {
+		add(fidelity.Check{
+			ID:      "fig8." + app + ".winoc_beats_mesh",
+			Detail:  "VFI WiNoC EDP below VFI mesh EDP (Fig. 8)",
+			Section: "fig8", Row: app, Value: "edp_winoc",
+			Kind: fidelity.LessThanMetric, OtherValue: "edp_mesh",
+		})
+		add(fidelity.Check{
+			ID:      "fig8." + app + ".mesh_saves",
+			Detail:  "VFI mesh EDP at or below the NVFI baseline (Fig. 8)",
+			Section: "fig8", Row: app, Value: "edp_mesh",
+			Kind: fidelity.AtMost, Want: 1.0, WarnTol: 0.05,
+		})
+	}
+
+	// Fig. 4: VFI 2 never executes slower than VFI 1 (the re-assignment
+	// raises frequencies), and its EDP still beats the NVFI baseline.
+	for _, app := range Fig4Apps {
+		add(fidelity.Check{
+			ID:      "fig4." + app + ".vfi2_not_slower",
+			Detail:  "VFI 2 execution time at or below VFI 1 (Fig. 4)",
+			Section: "fig4", Row: app, Value: "exec_vfi2",
+			Kind: fidelity.LessThanMetric, OtherValue: "exec_vfi1",
+			PassTol: 1e-9,
+		})
+		add(fidelity.Check{
+			ID:      "fig4." + app + ".vfi2_saves",
+			Detail:  "VFI 2 EDP at or below the NVFI baseline (Fig. 4)",
+			Section: "fig4", Row: app, Value: "edp_vfi2",
+			Kind: fidelity.AtMost, Want: 1.0, WarnTol: 0.02,
+		})
+	}
+
+	// Fig. 5: bottleneck severity orders pca > mm > hist, the reason pca
+	// alone stays homogeneous in Table 2.
+	add(fidelity.Check{
+		ID:      "fig5.mm_below_pca",
+		Detail:  "bottleneck/average utilization ratio: mm below pca (Fig. 5)",
+		Section: "fig5", Row: "mm", Value: "ratio",
+		Kind: fidelity.LessThanMetric, OtherRow: "pca",
+	})
+	add(fidelity.Check{
+		ID:      "fig5.hist_below_mm",
+		Detail:  "bottleneck/average utilization ratio: hist below mm (Fig. 5)",
+		Section: "fig5", Row: "hist", Value: "ratio",
+		Kind: fidelity.LessThanMetric, OtherRow: "mm",
+	})
+
+	// Fig. 6: the max-wireless-utilization placement stays within a few
+	// percent of min-hop on every benchmark (paper band 0.90-1.00; this
+	// reproduction lands 0.95-1.10, deviation 2 of EXPERIMENTS.md).
+	for _, app := range AppOrder {
+		add(fidelity.Check{
+			ID:      "fig6." + app + ".ratio",
+			Detail:  "max-wireless vs min-hop network EDP ratio near parity (Fig. 6)",
+			Section: "fig6", Row: app, Value: "ratio",
+			Kind: fidelity.Near, Want: 1.0, PassTol: 0.12, WarnTol: 0.2,
+		})
+	}
+
+	// Table 2: the design flow reproduces the paper's V/F multisets exactly,
+	// and only the three nearly-homogeneous benchmarks get a re-assignment.
+	wantVFI1 := map[string]string{
+		"mm": "2.25 2.25 2.5 2.5", "hist": "2.25 2.25 2.5 2.5",
+		"kmeans": "1.5 1.5 2 2", "wc": "2 2 2.5 2.5",
+		"pca": "2.25 2.25 2.25 2.25", "lr": "2.25 2.25 2.5 2.5",
+	}
+	wantVFI2 := map[string]string{
+		"mm": "2.25 2.5 2.5 2.5", "hist": "2.25 2.5 2.5 2.5",
+		"kmeans": "1.5 1.5 2 2", "wc": "2 2 2.5 2.5",
+		"pca": "2.25 2.25 2.25 2.5", "lr": "2.25 2.25 2.5 2.5",
+	}
+	raised := map[string]float64{"mm": 1, "hist": 1, "pca": 1}
+	for _, app := range AppOrder {
+		add(fidelity.Check{
+			ID:      "table2." + app + ".vfi1",
+			Detail:  "VFI 1 frequency multiset matches Table 2",
+			Section: "table2", Row: app, Value: "vfi1_ghz",
+			Kind: fidelity.LabelIs, WantLabel: wantVFI1[app],
+		})
+		add(fidelity.Check{
+			ID:      "table2." + app + ".vfi2",
+			Detail:  "VFI 2 frequency multiset matches Table 2",
+			Section: "table2", Row: app, Value: "vfi2_ghz",
+			Kind: fidelity.LabelIs, WantLabel: wantVFI2[app],
+		})
+		add(fidelity.Check{
+			ID:      "table2." + app + ".raised",
+			Detail:  "number of re-assigned islands matches Table 2",
+			Section: "table2", Row: app, Value: "raised",
+			Kind: fidelity.Near, Want: raised[app],
+		})
+	}
+
+	// Section 7.2: (3,1) always yields lower network EDP than (2,2).
+	for _, app := range AppOrder {
+		add(fidelity.Check{
+			ID:      "kintra." + app + ".31_wins",
+			Detail:  "(k_intra,k_inter)=(3,1) network EDP below (2,2) (Section 7.2)",
+			Section: "kintra", Row: app, Value: "edp31",
+			Kind: fidelity.LessThanMetric, OtherValue: "edp22",
+			WarnTol: 0.10,
+		})
+	}
+
+	// Section 4.3: the Word Count case study's task-duration statistics and
+	// stealing behaviour. Bounds are the paper's measured ranges plus the
+	// calibration slack the suite's own tests allow.
+	steal := func(id, detail, value string, kind fidelity.CheckKind, want, passTol, warnTol float64) {
+		add(fidelity.Check{
+			ID: "stealing." + id, Detail: detail,
+			Section: "stealing", Row: "wc", Value: value,
+			Kind: kind, Want: want, PassTol: passTol, WarnTol: warnTol,
+		})
+	}
+	steal("f1_avg", "f1 task duration average (paper: 0.270 s)", "f1_avg",
+		fidelity.Near, 0.270, 0.015, 0.03)
+	steal("f2_avg", "f2 task duration average (paper: 0.320 s)", "f2_avg",
+		fidelity.Near, 0.320, 0.02, 0.04)
+	steal("f1_min", "f1 duration range lower edge (paper: 0.268 s)", "f1_min",
+		fidelity.AtLeast, 0.262, 0, 0.01)
+	steal("f1_max", "f1 duration range upper edge (paper: 0.284 s)", "f1_max",
+		fidelity.AtMost, 0.292, 0, 0.01)
+	steal("f2_min", "f2 duration range lower edge (paper: 0.280 s)", "f2_min",
+		fidelity.AtLeast, 0.272, 0, 0.01)
+	steal("f2_max", "f2 duration range upper edge (paper: 0.342 s)", "f2_max",
+		fidelity.AtMost, 0.350, 0, 0.01)
+	steal("nf", "Eq. 3 steal cap for the slow cores (Nf = 1)", "nf",
+		fidelity.Near, 1, 0, 0)
+	steal("capped_steals", "the cap eliminates slow-core steals", "capped_steals",
+		fidelity.AtMost, 0, 0, 0)
+	add(fidelity.Check{
+		ID:      "stealing.default_helps",
+		Detail:  "default stealing improves the no-stealing makespan (Section 4.3)",
+		Section: "stealing", Row: "wc", Value: "makespan_default",
+		Kind: fidelity.LessThanMetric, OtherValue: "makespan_nosteal",
+	})
+	add(fidelity.Check{
+		ID:      "stealing.cap_cheap",
+		Detail:  "capping costs at most 2% makespan vs default stealing (Section 4.3)",
+		Section: "stealing", Row: "wc", Value: "makespan_capped",
+		Kind: fidelity.LessThanMetric, OtherValue: "makespan_default",
+		PassTol: 0.02,
+	})
+
+	// Extension invariant: the WiNoC degrades gracefully as wireless
+	// interfaces fail — all 12 WIs out costs at most 10% EDP.
+	add(fidelity.Check{
+		ID: "wifail.graceful",
+		Detail: fmt.Sprintf("EDP with all %d WIs failed within 10%% of healthy",
+			DefaultWIFailures[len(DefaultWIFailures)-1]),
+		Section: "wifail",
+		Row:     fmt.Sprintf("%s/%d", DefaultWIFailureApp, DefaultWIFailures[len(DefaultWIFailures)-1]),
+		Value:   "edp_ratio",
+		Kind:    fidelity.AtMost, Want: 1.10, WarnTol: 0.10,
+	})
+
+	return checks
+}

@@ -1,0 +1,212 @@
+package fidelity
+
+import (
+	"fmt"
+	"math"
+)
+
+// Verdict classifies one scoreboard check.
+type Verdict int
+
+const (
+	// Pass: the metric matches the paper (or invariant) within the tight
+	// tolerance.
+	Pass Verdict = iota
+	// Warn: inside the documented reproduction-quality band but outside
+	// the tight tolerance — expected for metrics EXPERIMENTS.md lists as
+	// damped deviations. Warns never gate CI.
+	Warn
+	// Fail: outside every documented band, or the metric is missing — the
+	// reproduction is broken. -check exits non-zero on any Fail.
+	Fail
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Warn:
+		return "warn"
+	default:
+		return "fail"
+	}
+}
+
+// CheckKind selects how a check compares its metric.
+type CheckKind int
+
+const (
+	// Near: |got - Want| <= PassTol passes, <= WarnTol warns, else fails.
+	Near CheckKind = iota
+	// AtMost: got <= Want (+ WarnTol for the warn band) — upper bounds
+	// like "execution-time penalty at most the paper's 3.22%".
+	AtMost
+	// AtLeast: got >= Want (- WarnTol for the warn band).
+	AtLeast
+	// LessThanMetric: got < other metric — directional invariants like
+	// "WiNoC EDP below mesh EDP". Its tolerances are relative to the
+	// right-hand metric (unitless), unlike the absolute tolerances of the
+	// scalar kinds, so one slack value works across benchmarks of very
+	// different magnitudes.
+	LessThanMetric
+	// LabelIs: the row label equals WantLabel exactly — categorical facts
+	// like "largest saving on kmeans" or Table 2 V/F multisets.
+	LabelIs
+)
+
+// Check is one declarative target: a metric address, the paper's value (or
+// a bound, or a second metric) and the documented tolerances. Tolerances
+// are absolute, in the metric's own units.
+type Check struct {
+	ID     string // stable identifier, e.g. "headline.avg_edp_saving"
+	Detail string // human description, citing the paper value
+
+	Section, Row, Value string
+	Kind                CheckKind
+	Want                float64
+	WantLabel           string
+	// OtherSection/Row/Value name the right-hand metric of
+	// LessThanMetric; empty components default to the left-hand ones.
+	OtherSection, OtherRow, OtherValue string
+	PassTol, WarnTol                   float64
+}
+
+// Result is one evaluated check.
+type Result struct {
+	Check
+	Got      float64
+	GotLabel string
+	Other    float64 // right-hand side for LessThanMetric
+	Verdict  Verdict
+	Note     string // one-line explanation of the verdict
+}
+
+// Addr returns the canonical address of the checked metric.
+func (r Result) Addr() string { return Address(r.Section, r.Row, r.Value) }
+
+// Evaluate runs every check against the snapshot, in order. A missing
+// metric is always a Fail — silently skipping a target would let coverage
+// rot invisibly.
+func Evaluate(s *Snapshot, checks []Check) []Result {
+	results := make([]Result, 0, len(checks))
+	for _, c := range checks {
+		results = append(results, evaluate(s, c))
+	}
+	return results
+}
+
+func evaluate(s *Snapshot, c Check) Result {
+	res := Result{Check: c}
+	if c.Kind == LabelIs {
+		got, ok := s.Label(c.Section, c.Row, c.Value)
+		if !ok {
+			res.Verdict = Fail
+			res.Note = fmt.Sprintf("label %s missing from snapshot", res.Addr())
+			return res
+		}
+		res.GotLabel = got
+		if got == c.WantLabel {
+			res.Verdict = Pass
+			res.Note = fmt.Sprintf("%q as expected", got)
+		} else {
+			res.Verdict = Fail
+			res.Note = fmt.Sprintf("got %q, want %q", got, c.WantLabel)
+		}
+		return res
+	}
+
+	got, ok := s.Metric(c.Section, c.Row, c.Value)
+	if !ok {
+		res.Verdict = Fail
+		res.Note = fmt.Sprintf("metric %s missing from snapshot", res.Addr())
+		return res
+	}
+	res.Got = got
+
+	// delta > 0 means "worse than the target" in every kind below; the
+	// verdict bands then read identically for all of them.
+	var delta float64
+	switch c.Kind {
+	case Near:
+		delta = got - c.Want
+		if delta < 0 {
+			delta = -delta
+		}
+		res.Note = fmt.Sprintf("got %.4g, target %.4g (±%.3g pass, ±%.3g warn)", got, c.Want, c.PassTol, c.WarnTol)
+	case AtMost:
+		delta = got - c.Want
+		res.Note = fmt.Sprintf("got %.4g, bound <= %.4g (+%.3g warn)", got, c.Want, c.WarnTol)
+	case AtLeast:
+		delta = c.Want - got
+		res.Note = fmt.Sprintf("got %.4g, bound >= %.4g (-%.3g warn)", got, c.Want, c.WarnTol)
+	case LessThanMetric:
+		osec, orow, oval := c.OtherSection, c.OtherRow, c.OtherValue
+		if osec == "" {
+			osec = c.Section
+		}
+		if orow == "" {
+			orow = c.Row
+		}
+		if oval == "" {
+			oval = c.Value
+		}
+		other, ok := s.Metric(osec, orow, oval)
+		if !ok {
+			res.Verdict = Fail
+			res.Note = fmt.Sprintf("metric %s missing from snapshot", Address(osec, orow, oval))
+			return res
+		}
+		res.Other = other
+		delta = got - other
+		if other != 0 {
+			delta /= math.Abs(other) // relative slack, comparable across benchmarks
+		}
+		res.Note = fmt.Sprintf("got %.4g vs %.4g (%s)", got, other, Address(osec, orow, oval))
+	default:
+		res.Verdict = Fail
+		res.Note = fmt.Sprintf("unknown check kind %d", c.Kind)
+		return res
+	}
+
+	switch {
+	case delta <= c.PassTol:
+		res.Verdict = Pass
+	case delta <= c.WarnTol:
+		res.Verdict = Warn
+	default:
+		res.Verdict = Fail
+	}
+	return res
+}
+
+// Tally counts verdicts.
+type Tally struct {
+	Pass, Warn, Fail int
+}
+
+// Count tallies a result list.
+func Count(results []Result) Tally {
+	var t Tally
+	for _, r := range results {
+		switch r.Verdict {
+		case Pass:
+			t.Pass++
+		case Warn:
+			t.Warn++
+		default:
+			t.Fail++
+		}
+	}
+	return t
+}
+
+// Failures returns only the failing results, for -check error output.
+func Failures(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Verdict == Fail {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -21,8 +21,9 @@ type CLI struct {
 	DebugAddr    string
 	Verbose      bool
 
-	cmd string
-	rec *Recorder
+	cmd   string
+	rec   *Recorder
+	force bool
 }
 
 // NewCLI registers the telemetry flags on fs.
@@ -35,13 +36,20 @@ func NewCLI(fs *flag.FlagSet) *CLI {
 	return c
 }
 
+// ForceRecorder makes the next Start install a recorder even when no
+// trace or manifest path was requested — callers that embed the manifest
+// elsewhere (the fidelity run report) need stage timings regardless.
+// Call it after flag parsing and before Start.
+func (c *CLI) ForceRecorder() { c.force = true }
+
 // Start applies the parsed flags: verbose mode, the recorder (installed
-// when a trace or manifest was requested), and the debug server. cmd
-// names the tool in the manifest and the debug banner.
+// when a trace or manifest was requested, or ForceRecorder was called),
+// and the debug server. cmd names the tool in the manifest and the debug
+// banner.
 func (c *CLI) Start(cmd string) error {
 	c.cmd = cmd
 	SetVerbose(c.Verbose)
-	if c.TracePath != "" || c.ManifestPath != "" {
+	if c.TracePath != "" || c.ManifestPath != "" || c.force {
 		c.rec = NewRecorder()
 		Install(c.rec)
 	}
@@ -58,9 +66,25 @@ func (c *CLI) Start(cmd string) error {
 // Recording reports whether Start installed a recorder.
 func (c *CLI) Recording() bool { return c.rec != nil }
 
+// BuildManifest assembles the run manifest as of now, applying customize
+// (may be nil). It returns nil when no recorder is installed. Finish
+// builds its -manifest file the same way, so a report embedding this
+// manifest and the file on disk agree.
+func (c *CLI) BuildManifest(customize func(*Manifest)) *Manifest {
+	if c.rec == nil {
+		return nil
+	}
+	m := c.rec.BuildManifest(c.cmd, os.Args[1:])
+	if customize != nil {
+		customize(&m)
+	}
+	return &m
+}
+
 // Finish writes the requested trace and manifest files. customize (may be
 // nil) edits the manifest before it is written — the place to fill Jobs,
-// ConfigHash and Cache. Safe to call when no recorder was installed.
+// ConfigHash, Cache and Fidelity. Safe to call when no recorder was
+// installed.
 func (c *CLI) Finish(customize func(*Manifest)) error {
 	if c.rec == nil {
 		return nil
@@ -72,11 +96,8 @@ func (c *CLI) Finish(customize func(*Manifest)) error {
 		Logf("trace written to %s", c.TracePath)
 	}
 	if c.ManifestPath != "" {
-		m := c.rec.BuildManifest(c.cmd, os.Args[1:])
-		if customize != nil {
-			customize(&m)
-		}
-		if err := WriteManifestFile(c.ManifestPath, m); err != nil {
+		m := c.BuildManifest(customize)
+		if err := WriteManifestFile(c.ManifestPath, *m); err != nil {
 			return fmt.Errorf("%s: writing manifest: %w", c.cmd, err)
 		}
 		Logf("manifest written to %s", c.ManifestPath)

@@ -13,10 +13,11 @@ import (
 var publishOnce sync.Once
 
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/ and expvar (including every obs counter and gauge, live)
-// under /debug/vars. It returns the bound address — pass "localhost:0"
-// for an ephemeral port — and serves until the process exits. This is the
-// -debug-addr flag of the CLIs.
+// /debug/pprof/, expvar (including every obs counter and gauge, live)
+// under /debug/vars, and every counter and gauge in Prometheus text
+// format under /metrics. It returns the bound address — pass
+// "localhost:0" for an ephemeral port — and serves until the process
+// exits. This is the -debug-addr flag of the CLIs.
 func ServeDebug(addr string) (string, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("wivfi_counters", expvar.Func(func() any { return CounterTotals() }))
@@ -29,6 +30,7 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", promHandler)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

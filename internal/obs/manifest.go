@@ -25,6 +25,24 @@ type CacheSummary struct {
 	CorruptEvicted int64 `json:"corrupt_evicted"`
 }
 
+// FidelitySummary condenses the run's results-observability outcome into
+// the manifest: the scoreboard tally, the number of baseline regressions
+// and where the full artifacts were written. The structured detail lives
+// in the snapshot and report files; the manifest only carries enough to
+// tell green from red.
+type FidelitySummary struct {
+	SnapshotPath string `json:"snapshot_path,omitempty"`
+	BaselinePath string `json:"baseline_path,omitempty"`
+	ReportPath   string `json:"report_path,omitempty"`
+	Pass         int    `json:"pass"`
+	Warn         int    `json:"warn"`
+	Fail         int    `json:"fail"`
+	Regressions  int    `json:"regressions"`
+	// ConfigMismatch reports that the baseline snapshot was produced
+	// under a different experiment configuration.
+	ConfigMismatch bool `json:"config_mismatch,omitempty"`
+}
+
 // Manifest is the machine-readable summary of one harness run. It
 // round-trips through encoding/json; the -manifest flag of the CLIs
 // writes it next to the trace.
@@ -37,6 +55,7 @@ type Manifest struct {
 	ConfigHash string                  `json:"config_hash,omitempty"`
 	CacheDir   string                  `json:"cache_dir,omitempty"`
 	Cache      *CacheSummary           `json:"cache,omitempty"`
+	Fidelity   *FidelitySummary        `json:"fidelity,omitempty"`
 	Stages     []StageSummary          `json:"stages"`
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]GaugeReading `json:"gauges"`

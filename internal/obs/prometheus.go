@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a registered metric name into a legal Prometheus
+// identifier and namespaces it: "sim.pool.queue-wait" ->
+// "wivfi_sim_pool_queue_wait".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("wivfi_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered counter and gauge in the
+// Prometheus text exposition format (one `counter` family per Counter, a
+// `gauge` family plus a `_max` high-water family per Gauge). Output is
+// sorted by family name, so it is deterministic for tests and diffable
+// between scrapes.
+func WritePrometheus(w io.Writer) {
+	type family struct {
+		name, kind, help string
+		value            int64
+	}
+	var fams []family
+	for name, v := range CounterTotals() {
+		fams = append(fams, family{promName(name), "counter", "Total of the " + name + " counter.", v})
+	}
+	for name, g := range GaugeReadings() {
+		fams = append(fams, family{promName(name), "gauge", "Current level of the " + name + " gauge.", g.Value})
+		fams = append(fams, family{promName(name) + "_max", "gauge", "High-water mark of the " + name + " gauge.", g.Max})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", f.name, f.help, f.name, f.kind, f.name, f.value)
+	}
+}
+
+// promHandler serves WritePrometheus as the /metrics endpoint.
+func promHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.pool.queue-wait": "wivfi_sim_pool_queue_wait",
+		"expt.cache.hits":     "wivfi_expt_cache_hits",
+		"Already_OK9":         "wivfi_Already_OK9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	c := NewCounter("promtest.requests")
+	c.Add(41)
+	c.Add(1)
+	g := NewGauge("promtest.in-flight")
+	g.Add(5)
+	g.Add(-2)
+
+	var b strings.Builder
+	WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE wivfi_promtest_requests counter\nwivfi_promtest_requests 42\n",
+		"# TYPE wivfi_promtest_in_flight gauge\nwivfi_promtest_in_flight 3\n",
+		"# TYPE wivfi_promtest_in_flight_max gauge\nwivfi_promtest_in_flight_max 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// every sample line is a legal prometheus "name value" pair, every
+	// family has HELP and TYPE, and families are sorted
+	sample := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]* -?\d+$`)
+	var names []string
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !sample.MatchString(ln) {
+			t.Errorf("line %d not a valid sample: %q", i, ln)
+		}
+		names = append(names, strings.Fields(ln)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("families not sorted: %v", names)
+	}
+	if len(names) == 0 {
+		t.Fatal("no samples rendered")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c := NewCounter("promtest.endpoint")
+	c.Add(7)
+	addr, err := ServeDebug("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "wivfi_promtest_endpoint 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+}
