@@ -6,7 +6,9 @@
 // re-derive the application calibration.
 //
 // The telemetry flags (-trace, -manifest, -v, -debug-addr) behave exactly
-// as in cmd/reproduce: they never touch stdout.
+// as in cmd/reproduce: they never touch stdout. -timeline writes each
+// benchmark's per-iteration convergence series (measured group means and
+// the residual band error) to the given directory.
 package main
 
 import (
@@ -15,16 +17,25 @@ import (
 	"os"
 
 	"wivfi/internal/obs"
+	"wivfi/internal/timeline"
 )
 
 func main() {
 	cli := obs.NewCLI(flag.CommandLine)
+	tcli := timeline.NewCLI(flag.CommandLine)
 	flag.Parse()
 	if err := cli.Start("calibrate"); err != nil {
 		fatal(err)
 	}
+	tcli.Start("calibrate")
 	tune()
-	if err := cli.Finish(nil); err != nil {
+	set, terr := tcli.Finish()
+	if terr != nil {
+		fatal(terr)
+	}
+	if err := cli.Finish(func(m *obs.Manifest) {
+		m.Histograms = timeline.ManifestSummaries(set)
+	}); err != nil {
 		fatal(err)
 	}
 }

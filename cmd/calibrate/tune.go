@@ -2,11 +2,13 @@ package main
 
 import (
 	"fmt"
+	"math"
 
 	"wivfi/internal/apps"
 	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 	"wivfi/internal/stats"
+	"wivfi/internal/timeline"
 )
 
 // tune iteratively adjusts each app's reduce levels until the measured
@@ -45,12 +47,30 @@ func tune() {
 			prof := res.Profile()
 			T := res.Report.ExecSeconds
 			var meas [4]float64
+			var maxErr float64
 			for g := 0; g < 4; g++ {
 				vals := append([]float64(nil), prof.Util[g*16:(g+1)*16]...)
 				if g == 0 {
 					vals = vals[1:] // exclude master from its group mean
 				}
 				meas[g] = stats.Mean(vals)
+				if e := math.Abs(target[g] - meas[g]); e > maxErr {
+					maxErr = e
+				}
+			}
+			if col := timeline.Active(); col != nil {
+				for g := 0; g < 4; g++ {
+					col.Sampler(timeline.Meta{
+						Name:      fmt.Sprintf("calibrate/%s/group/%d/util", app.Name, g),
+						IndexUnit: "iteration",
+						Unit:      "util",
+					}, 1, timeline.Mean).Add(int64(it), meas[g])
+				}
+				col.Sampler(timeline.Meta{
+					Name:      fmt.Sprintf("calibrate/%s/band-error", app.Name),
+					IndexUnit: "iteration",
+					Unit:      "util",
+				}, 1, timeline.Mean).Add(int64(it), maxErr)
 			}
 			done := true
 			for g := 0; g < 4; g++ {

@@ -9,9 +9,12 @@
 //
 // -j and -cache mirror the reproduce flags: -j bounds the concurrent
 // simulations of the pipeline build, -cache points at the shared design
-// cache ("auto" = the user cache dir, "" = disabled). -trace, -manifest,
-// -v and -debug-addr are the usual telemetry flags; none of them touches
-// stdout.
+// cache ("auto" = the user cache dir, "" = disabled). -timeline writes
+// time-resolved series to a directory: in simulator mode the benchmark's
+// deterministic phase/energy/heatmap series, with -real the live
+// MapReduce engine's per-worker phase tracks, steal-rate and queue-depth
+// series. -trace, -manifest, -v and -debug-addr are the usual telemetry
+// flags; none of them touches stdout.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"wivfi/internal/expt"
 	"wivfi/internal/obs"
 	"wivfi/internal/sim"
+	"wivfi/internal/timeline"
 )
 
 func main() {
@@ -39,10 +43,12 @@ func main() {
 		cache    = flag.String("cache", "auto", `design cache dir ("auto" = user cache dir, "" = disabled)`)
 	)
 	cli := obs.NewCLI(flag.CommandLine)
+	tcli := timeline.NewCLI(flag.CommandLine)
 	flag.Parse()
 	if err := cli.Start("mrsim"); err != nil {
 		fatal(err)
 	}
+	tcli.Start("mrsim")
 	if *jobs <= 0 {
 		*jobs = runtime.GOMAXPROCS(0)
 	}
@@ -52,6 +58,10 @@ func main() {
 	}
 	cfg := expt.DefaultConfig()
 	finish := func(suite *expt.Suite) {
+		set, terr := tcli.Finish()
+		if terr != nil {
+			fatal(terr)
+		}
 		if err := cli.Finish(func(m *obs.Manifest) {
 			m.Jobs = *jobs
 			m.ConfigHash = expt.ConfigHash(cfg)
@@ -60,6 +70,7 @@ func main() {
 				cs := suite.CacheStats()
 				m.Cache = &obs.CacheSummary{Hits: cs.Hits, Misses: cs.Misses, CorruptEvicted: cs.CorruptEvicted}
 			}
+			m.Histograms = timeline.ManifestSummaries(set)
 		}); err != nil {
 			fatal(err)
 		}
@@ -88,6 +99,11 @@ func main() {
 	pl, err := suite.Pipeline(app.Name)
 	if err != nil {
 		fatal(err)
+	}
+	if tcli.Collecting() {
+		if err := suite.CollectTimelines(timeline.Active(), app.Name); err != nil {
+			fatal(err)
+		}
 	}
 	var run *sim.RunResult
 	switch *system {

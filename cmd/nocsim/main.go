@@ -5,10 +5,14 @@
 // Usage:
 //
 //	nocsim -topo winoc -pattern uniform -inj 0.05 [-des] [-packets 2000]
+//	       [-latency-percentiles] [-timeline dir]
 //	       [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
 //
-// The telemetry flags behave exactly as in cmd/reproduce: they never touch
-// stdout.
+// -latency-percentiles appends a p50/p90/p95/p99 packet-latency line after
+// the -des block; without it stdout is byte-identical to before the flag
+// existed. -timeline writes per-link flit series and the packet-latency
+// histogram (timeline.json + CSVs) to the given directory. The telemetry
+// flags behave exactly as in cmd/reproduce: they never touch stdout.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"wivfi/internal/obs"
 	"wivfi/internal/place"
 	"wivfi/internal/platform"
+	"wivfi/internal/timeline"
 	"wivfi/internal/topo"
 )
 
@@ -34,12 +39,15 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run a saturation-throughput sweep (cycle-accurate)")
 		packets  = flag.Int("packets", 2000, "packet count for -des")
 		seed     = flag.Int64("seed", 1, "rng seed")
+		latPct   = flag.Bool("latency-percentiles", false, "print p50/p90/p95/p99 packet latency after -des")
 	)
 	cli := obs.NewCLI(flag.CommandLine)
+	tcli := timeline.NewCLI(flag.CommandLine)
 	flag.Parse()
 	if err := cli.Start("nocsim"); err != nil {
 		fatal(err)
 	}
+	tcli.Start("nocsim")
 
 	chip := platform.DefaultChip()
 	costs := noc.DefaultLinkCosts()
@@ -91,7 +99,18 @@ func main() {
 			})
 		}
 		sp := obs.StartSpan("des", tp.Name)
-		res, err := noc.RunDESInstrumented(rt, pkts, nm, noc.DefaultDESConfig())
+		var res *noc.DESStats
+		if tcli.Collecting() {
+			// the timeline run replays the same DES with link/latency probes,
+			// so stats (and stdout) match the plain instrumented run exactly
+			var series []timeline.Series
+			res, series, err = noc.RunDESTimeline(rt, pkts, nm, noc.DefaultDESConfig(), "noc/"+*pattern+"/")
+			if err == nil {
+				timeline.Active().AddSeries(series...)
+			}
+		} else {
+			res, err = noc.RunDESInstrumented(rt, pkts, nm, noc.DefaultDESConfig())
+		}
 		sp.End()
 		if err != nil {
 			fatal(err)
@@ -102,6 +121,10 @@ func main() {
 			100*float64(res.WirelessFlitHops)/float64(res.TotalFlitHops+1), res.Cycles)
 		hot := res.HottestLink()
 		fmt.Printf("  hottest link: %d -> %d (util %.2f, %d flits)\n", hot.From, hot.To, hot.Utilization, hot.Flits)
+		if *latPct {
+			fmt.Printf("  latency percentiles: p50 %d, p90 %d, p95 %d, p99 %d cycles\n",
+				res.Percentile(0.5), res.Percentile(0.9), res.Percentile(0.95), res.Percentile(0.99))
+		}
 	}
 	if *sweep {
 		rates := []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3}
@@ -116,7 +139,13 @@ func main() {
 			fmt.Printf("    inj=%.2f latency=%.1f cycles\n", pt.InjectionRate, pt.AvgLatency)
 		}
 	}
-	if err := cli.Finish(nil); err != nil {
+	set, terr := tcli.Finish()
+	if terr != nil {
+		fatal(terr)
+	}
+	if err := cli.Finish(func(m *obs.Manifest) {
+		m.Histograms = timeline.ManifestSummaries(set)
+	}); err != nil {
 		fatal(err)
 	}
 }

@@ -8,7 +8,7 @@
 //	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
 //	          [-summary]
 //	          [-snapshot out.json] [-baseline ref.json] [-check]
-//	          [-report out.html]
+//	          [-report out.html] [-timeline dir]
 //	          [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
 //
 // -j bounds the number of concurrent simulations (default GOMAXPROCS);
@@ -24,11 +24,18 @@
 // scoreboard, the diff, the figures and the run manifest. Any of them
 // collects the complete snapshot regardless of which figure flags are set.
 //
+// -timeline writes the time-resolved series (per-worker phase tracks,
+// per-island utilization and windowed energy, the DES link heatmap and
+// packet-latency histogram) as timeline.json plus CSVs into the given
+// directory; -report embeds the same series as a rendered Timelines
+// section. The artifacts are indexed by simulated time and deterministic
+// record counts, so they are byte-identical across -j levels and runs.
+//
 // Telemetry never touches stdout: -trace writes a Chrome trace_event JSON
 // file, -manifest a machine-readable run summary, -v progress lines on
 // stderr, and -debug-addr serves net/http/pprof and expvar. The figure
-// output is byte-identical with or without any of them, fidelity flags
-// included.
+// output is byte-identical with or without any of them, fidelity and
+// timeline flags included.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"wivfi/internal/expt"
 	"wivfi/internal/fidelity"
 	"wivfi/internal/obs"
+	"wivfi/internal/timeline"
 )
 
 func main() {
@@ -68,12 +76,15 @@ func main() {
 		reportPath   = flag.String("report", "", "write a run report (.html, or .md by extension)")
 	)
 	cli := obs.NewCLI(flag.CommandLine)
+	tcli := timeline.NewCLI(flag.CommandLine)
 	flag.Parse()
 	wantFidelity := *snapshotPath != "" || *baselinePath != "" || *check || *reportPath != ""
 	if *reportPath != "" {
-		// the report embeds the run manifest, which needs a recorder even
-		// when no -trace/-manifest was asked for
+		// the report embeds the run manifest and the timelines section, so
+		// both need collecting even when no -trace/-manifest/-timeline was
+		// asked for
 		cli.ForceRecorder()
+		tcli.ForceCollector()
 	}
 	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
 		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
@@ -85,6 +96,7 @@ func main() {
 	if err := cli.Start("reproduce"); err != nil {
 		fail(err)
 	}
+	tcli.Start("reproduce")
 
 	if *jobs <= 0 {
 		*jobs = runtime.GOMAXPROCS(0)
@@ -258,6 +270,24 @@ func main() {
 		}
 	}
 
+	// Timelines, like fidelity, run after every section has printed: the
+	// series are derived post hoc from the warm pipelines and written only
+	// to files and stderr, so stdout above is byte-identical with or
+	// without them.
+	var tset *timeline.Set
+	if tcli.Collecting() {
+		sp := obs.StartSpan("timelines", "collect")
+		err := suite.CollectTimelines(timeline.Active())
+		sp.End()
+		if err != nil {
+			fail(err)
+		}
+		var terr error
+		if tset, terr = tcli.Finish(); terr != nil {
+			fail(terr)
+		}
+	}
+
 	// Fidelity runs after every section has printed: it re-reads the warm
 	// pipelines and writes only to files and stderr, so stdout above is
 	// byte-identical with or without it.
@@ -270,6 +300,7 @@ func main() {
 		cs := suite.CacheStats()
 		m.Cache = &obs.CacheSummary{Hits: cs.Hits, Misses: cs.Misses, CorruptEvicted: cs.CorruptEvicted}
 		m.Fidelity = fid
+		m.Histograms = timeline.ManifestSummaries(tset)
 	}
 	if wantFidelity {
 		snap, err := expt.CollectSnapshot(suite)
@@ -322,6 +353,7 @@ func main() {
 				Diff:         diff,
 				BaselinePath: *baselinePath,
 				Manifest:     cli.BuildManifest(customize),
+				Timelines:    tset,
 			}
 			if err := fidelity.WriteReport(*reportPath, data); err != nil {
 				fail(err)

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	vfiplan -app pca [-islands 4] [-margin 0.35]
+//	vfiplan -app pca [-islands 4] [-margin 0.35] [-timeline dir]
 //	        [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
 //
-// The telemetry flags behave exactly as in cmd/reproduce: they never touch
-// stdout.
+// -timeline writes the plan's V/F design-step tracks (VFI 1 -> VFI 2 per
+// island) and the profiled per-core utilization series to the given
+// directory. The telemetry flags behave exactly as in cmd/reproduce: they
+// never touch stdout.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"wivfi/internal/platform"
 	"wivfi/internal/sim"
 	"wivfi/internal/stats"
+	"wivfi/internal/timeline"
 	"wivfi/internal/vfi"
 )
 
@@ -34,10 +37,12 @@ func main() {
 		saveVFI     = flag.String("save-vfi", "", "write the final VFI 2 configuration to this JSON file")
 	)
 	cli := obs.NewCLI(flag.CommandLine)
+	tcli := timeline.NewCLI(flag.CommandLine)
 	flag.Parse()
 	if err := cli.Start("vfiplan"); err != nil {
 		fatal(err)
 	}
+	tcli.Start("vfiplan")
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
@@ -114,6 +119,25 @@ func main() {
 	}
 	fmt.Printf("bottleneck cores: %v (pattern homogeneous: %v)\n",
 		plan.Bottlenecks, plan.HomogeneousPattern)
+	if col := timeline.Active(); col != nil {
+		for j := range plan.VFI1.Points {
+			tr := col.Track(timeline.Meta{
+				Name:      fmt.Sprintf("vfi/%s/island/%d/vf", app.Name, j),
+				IndexUnit: "design-step",
+				Unit:      "V/GHz",
+			})
+			tr.Set(0, plan.VFI1.Points[j].String())
+			tr.Set(1, plan.VFI2.Points[j].String())
+		}
+		util := col.Sampler(timeline.Meta{
+			Name:      fmt.Sprintf("vfi/%s/core-util", app.Name),
+			IndexUnit: "core",
+			Unit:      "util",
+		}, 1, timeline.Mean)
+		for c, u := range prof.Util {
+			util.Add(int64(c), u)
+		}
+	}
 	if *saveVFI != "" {
 		f, err := os.Create(*saveVFI)
 		if err != nil {
@@ -125,7 +149,13 @@ func main() {
 		f.Close()
 		fmt.Printf("VFI 2 configuration written to %s\n", *saveVFI)
 	}
-	if err := cli.Finish(nil); err != nil {
+	set, terr := tcli.Finish()
+	if terr != nil {
+		fatal(terr)
+	}
+	if err := cli.Finish(func(m *obs.Manifest) {
+		m.Histograms = timeline.ManifestSummaries(set)
+	}); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,155 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wivfi/internal/timeline"
+)
+
+func collectSet(t *testing.T, jobs int, names ...string) []byte {
+	t.Helper()
+	s := NewSuite(DefaultConfig(), WithParallelism(jobs))
+	col := timeline.NewCollector()
+	if err := s.CollectTimelines(col, names...); err != nil {
+		t.Fatal(err)
+	}
+	set := col.Export("test")
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestCollectTimelinesByteIdenticalAcrossJ(t *testing.T) {
+	serial := collectSet(t, 1, "wc", "mm")
+	parallel := collectSet(t, 4, "wc", "mm")
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("timeline artifacts differ between -j 1 and -j 4")
+	}
+	repeat := collectSet(t, 4, "wc", "mm")
+	if !bytes.Equal(parallel, repeat) {
+		t.Fatal("timeline artifacts differ across repeated runs")
+	}
+}
+
+func TestCollectTimelinesSeriesShape(t *testing.T) {
+	s := NewSuite(DefaultConfig(), WithParallelism(2))
+	col := timeline.NewCollector()
+	if err := s.CollectTimelines(col, "wc"); err != nil {
+		t.Fatal(err)
+	}
+	set := col.Export("test")
+
+	// Phase strips: one track per core, starting at 0, ending "done".
+	tracks := set.Prefix("expt/wc/worker/")
+	if len(tracks) != 64 {
+		t.Fatalf("worker tracks = %d, want 64", len(tracks))
+	}
+	kinds := map[string]bool{}
+	for _, tr := range tracks {
+		if tr.Kind != timeline.KindTrack || len(tr.Points) == 0 {
+			t.Fatalf("bad track %q", tr.Name)
+		}
+		if tr.Points[0].Index != 0 {
+			t.Fatalf("%s starts at %d", tr.Name, tr.Points[0].Index)
+		}
+		if last := tr.Points[len(tr.Points)-1]; last.State != "done" {
+			t.Fatalf("%s ends %q", tr.Name, last.State)
+		}
+		for _, p := range tr.Points {
+			kinds[p.State] = true
+		}
+	}
+	// wc's workload model runs libinit/map/reduce/merge (no split phase).
+	for _, want := range []string{"libinit", "map", "reduce", "merge", "idle"} {
+		if !kinds[want] {
+			t.Errorf("no worker strip shows phase %q", want)
+		}
+	}
+
+	// Island series: 4 utilization samplers in [0,1], 4 V/F step tracks.
+	utils := 0
+	for isl := 0; isl < 4; isl++ {
+		name := "expt/wc/island/" + string(rune('0'+isl))
+		if u := set.Lookup(name + "/util"); u != nil {
+			utils++
+			for _, v := range u.Values {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s value %v out of [0,1]", u.Name, v)
+				}
+			}
+		}
+		vf := set.Lookup(name + "/vf")
+		if vf == nil {
+			t.Fatalf("missing %s/vf", name)
+		}
+		if vf.IndexUnit != "design-step" {
+			t.Fatalf("%s index unit %q", vf.Name, vf.IndexUnit)
+		}
+		for _, p := range vf.Points {
+			if !strings.Contains(p.State, "/") {
+				t.Fatalf("%s state %q not a V/F label", vf.Name, p.State)
+			}
+		}
+	}
+	if utils != 4 {
+		t.Fatalf("island util series = %d, want 4", utils)
+	}
+
+	// Energy series for all three systems, with positive total mass.
+	for _, label := range []string{"vfi1-mesh", "vfi2-mesh", "winoc-best"} {
+		e := set.Lookup("expt/wc/energy/" + label)
+		if e == nil {
+			t.Fatalf("missing energy series %s", label)
+		}
+		var mass float64
+		for _, v := range e.Values {
+			mass += v
+		}
+		if mass <= 0 {
+			t.Fatalf("energy/%s mass = %v", label, mass)
+		}
+	}
+	if set.Lookup("expt/wc/steals") == nil {
+		t.Fatal("missing steals series")
+	}
+
+	// DES replay: latency histogram plus at least one link series.
+	lat := set.Lookup("noc/wc/latency")
+	if lat == nil || lat.Histogram == nil {
+		t.Fatal("missing noc/wc/latency histogram")
+	}
+	if lat.Histogram.Count != desReplayPackets {
+		t.Fatalf("latency count = %d, want %d", lat.Histogram.Count, desReplayPackets)
+	}
+	if lat.Histogram.P99 < lat.Histogram.P50 {
+		t.Fatalf("p99 %d < p50 %d", lat.Histogram.P99, lat.Histogram.P50)
+	}
+	if links := set.Prefix("noc/wc/link/"); len(links) == 0 {
+		t.Fatal("no link heatmap series")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	vals := make([]float64, 4)
+	spread(vals, 10, 5, 25, 2.0) // spans bins 0..2 with weights 5,10,5
+	want := []float64{0.5, 1.0, 0.5, 0}
+	for i := range want {
+		if diff := vals[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Zero-width span lands its whole mass in one bin.
+	vals = make([]float64, 4)
+	spread(vals, 10, 35, 35, 3.0)
+	if vals[3] != 3.0 {
+		t.Fatalf("zero-width spread: %v", vals)
+	}
+}

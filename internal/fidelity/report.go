@@ -10,11 +10,14 @@ import (
 	"strings"
 
 	"wivfi/internal/obs"
+	"wivfi/internal/timeline"
 )
 
 // ReportData bundles everything one run report renders: the snapshot, the
-// evaluated scoreboard, the optional baseline diff and the optional run
-// manifest (stage timings, counters, cache outcomes).
+// evaluated scoreboard, the optional baseline diff, the optional run
+// manifest (stage timings, counters, cache outcomes) and the optional
+// time-resolved timeline set (phase strips, link heatmap, latency
+// histogram).
 type ReportData struct {
 	Title        string
 	Snapshot     *Snapshot
@@ -22,6 +25,7 @@ type ReportData struct {
 	Diff         *DiffReport
 	BaselinePath string
 	Manifest     *obs.Manifest
+	Timelines    *timeline.Set
 }
 
 // WriteReport renders the run report to path; the extension picks the
@@ -137,6 +141,10 @@ func renderMarkdown(d ReportData) string {
 		}
 	}
 
+	if d.Timelines != nil {
+		b.WriteString(timelineMarkdown(d.Timelines))
+	}
+
 	if d.Manifest != nil {
 		b.WriteString(manifestMarkdown(d.Manifest))
 	}
@@ -234,6 +242,13 @@ func manifestMarkdown(m *obs.Manifest) string {
 		}
 		b.WriteString("\n")
 	}
+	if len(m.Histograms) > 0 {
+		b.WriteString("| histogram | count | min | p50 | p95 | p99 | max |\n|---|---|---|---|---|---|---|\n")
+		for _, h := range m.Histograms {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d |\n", h.Name, h.Count, h.Min, h.P50, h.P95, h.P99, h.Max)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }
 
@@ -300,6 +315,7 @@ var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
   .cell .bar { margin: 0; }
   svg.spark { vertical-align: middle; }
   .muted { color: #6e6e6e; }
+  .key { display: inline-block; width: .8em; height: .8em; border-radius: 2px; vertical-align: -.1em; margin-left: .6em; }
 </style></head><body>
 <h1>{{.Title}}</h1>
 {{if .Snapshot}}<p class="muted">Config <code>{{.Snapshot.ConfigHash}}</code> · snapshot schema {{.Snapshot.Schema}}</p>{{end}}
@@ -336,6 +352,31 @@ var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
 {{end}}
 {{end}}
 
+{{if .TimelineViews}}
+<h2>Timelines</h2>
+{{range .TimelineViews}}
+<h3>{{.App}}</h3>
+{{if .Strips}}
+<p class="muted">Worker phase strips — {{.StripNote}}.
+{{range .Legend}}<span class="key" style="background:{{.Color}}"></span> {{.State}} {{end}}</p>
+{{.Strips}}
+{{end}}
+{{if .Heatmap}}
+<p class="muted">Link heatmap — {{.HeatmapNote}}.</p>
+{{.Heatmap}}
+{{end}}
+{{if .Histogram}}
+<p class="muted">Packet latency — {{.HistNote}}.</p>
+{{.Histogram}}
+{{end}}
+{{if .Sparks}}
+<table><tr><th>series</th><th>unit</th><th>curve</th></tr>
+{{range .Sparks}}<tr><td><code>{{.Name}}</code></td><td>{{.Unit}}</td><td>{{.Spark}}</td></tr>
+{{end}}</table>
+{{end}}
+{{end}}
+{{end}}
+
 {{if .Manifest}}
 <h2>Run manifest</h2>
 <p><code>{{.Manifest.Command}}</code> · {{.Manifest.Jobs}} job(s) · wall {{printf "%.0f" .Manifest.WallMS}} ms{{if .Manifest.Cache}} · design cache {{.Manifest.Cache.Hits}} hit(s) / {{.Manifest.Cache.Misses}} miss(es) / {{.Manifest.Cache.CorruptEvicted}} corrupt evicted{{end}}</p>
@@ -347,6 +388,11 @@ var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
 {{if .CounterRows}}
 <table><tr><th>counter</th><th>total</th></tr>
 {{range .CounterRows}}<tr><td>{{.Name}}</td><td class="n">{{.Value}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Manifest.Histograms}}
+<table><tr><th>histogram</th><th>count</th><th>min</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>
+{{range .Manifest.Histograms}}<tr><td>{{.Name}}</td><td class="n">{{.Count}}</td><td class="n">{{.Min}}</td><td class="n">{{.P50}}</td><td class="n">{{.P95}}</td><td class="n">{{.P99}}</td><td class="n">{{.Max}}</td></tr>
 {{end}}</table>
 {{end}}
 {{end}}
@@ -380,10 +426,11 @@ type counterRow struct {
 
 type htmlData struct {
 	ReportData
-	Tally        Tally
-	DiffHeadline string
-	SectionViews []sectionView
-	CounterRows  []counterRow
+	Tally         Tally
+	DiffHeadline  string
+	SectionViews  []sectionView
+	CounterRows   []counterRow
+	TimelineViews []timelineView
 }
 
 func renderHTML(d ReportData) ([]byte, error) {
@@ -422,6 +469,7 @@ func renderHTML(d ReportData) ([]byte, error) {
 			hd.CounterRows = append(hd.CounterRows, counterRow{Name: k, Value: d.Manifest.Counters[k]})
 		}
 	}
+	hd.TimelineViews = timelineViews(d.Timelines)
 	var b strings.Builder
 	if err := htmlTmpl.Execute(&b, hd); err != nil {
 		return nil, err

@@ -1,0 +1,314 @@
+package fidelity
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+
+	"wivfi/internal/timeline"
+)
+
+// Timeline rendering: the run report's time-resolved section. The views
+// are pure functions of a timeline.Set — per-worker phase strips, the
+// per-link flit heatmap and the packet-latency histogram as inline SVG,
+// plus sparkline rows for the windowed samplers (energy, island
+// utilization, steals).
+
+// phaseColors maps workload phase states to strip colors.
+var phaseColors = map[string]string{
+	"libinit": "#b08bd0",
+	"split":   "#f4a261",
+	"map":     "#4063d8",
+	"reduce":  "#2a9d8f",
+	"merge":   "#e9c46a",
+	"idle":    "#ececec",
+}
+
+func phaseColor(state string) string {
+	if c, ok := phaseColors[state]; ok {
+		return c
+	}
+	return "#bbbbbb"
+}
+
+// timelineView is one benchmark's rendered timeline block.
+type timelineView struct {
+	App         string
+	Strips      template.HTML
+	StripNote   string
+	Legend      []legendItem
+	Heatmap     template.HTML
+	HeatmapNote string
+	Histogram   template.HTML
+	HistNote    string
+	Sparks      []timelineSpark
+}
+
+type legendItem struct {
+	State string
+	Color string
+}
+
+type timelineSpark struct {
+	Name  string
+	Unit  string
+	Spark template.HTML
+}
+
+// timelineApps lists the benchmarks with worker phase strips in the set,
+// in series order.
+func timelineApps(set *timeline.Set) []string {
+	seen := map[string]bool{}
+	var apps []string
+	for _, sr := range set.Series {
+		rest, ok := strings.CutPrefix(sr.Name, "expt/")
+		if !ok {
+			continue
+		}
+		app, _, ok := strings.Cut(rest, "/")
+		if ok && !seen[app] {
+			seen[app] = true
+			apps = append(apps, app)
+		}
+	}
+	return apps
+}
+
+// timelineViews builds one rendered block per benchmark; the heatmap and
+// histogram appear on the benchmarks that carry noc/<app>/ series (the
+// DES-replayed one).
+func timelineViews(set *timeline.Set) []timelineView {
+	if set == nil {
+		return nil
+	}
+	var views []timelineView
+	for _, app := range timelineApps(set) {
+		v := timelineView{App: app}
+		v.Strips, v.StripNote, v.Legend = workerStripsSVG(set, app)
+		v.Heatmap, v.HeatmapNote = linkHeatmapSVG(set, app)
+		if lat := set.Lookup("noc/" + app + "/latency"); lat != nil && lat.Histogram != nil {
+			v.Histogram, v.HistNote = latencyHistogramSVG(lat.Histogram)
+		}
+		v.Sparks = samplerSparks(set, app)
+		views = append(views, v)
+	}
+	return views
+}
+
+// workerStripsSVG renders the per-worker phase tracks as horizontal
+// strips over the shared virtual-time axis.
+func workerStripsSVG(set *timeline.Set, app string) (template.HTML, string, []legendItem) {
+	tracks := set.Prefix("expt/" + app + "/worker/")
+	if len(tracks) == 0 {
+		return "", "", nil
+	}
+	var total int64
+	for _, tr := range tracks {
+		if n := len(tr.Points); n > 0 && tr.Points[n-1].Index > total {
+			total = tr.Points[n-1].Index
+		}
+	}
+	if total == 0 {
+		return "", "", nil
+	}
+	const width = 640.0
+	rowH, gap := 6.0, 1.0
+	height := float64(len(tracks)) * (rowH + gap)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		int(width), int(height), int(width), int(height))
+	states := map[string]bool{}
+	for row, tr := range tracks {
+		y := float64(row) * (rowH + gap)
+		for i, p := range tr.Points {
+			if p.State == "done" {
+				continue
+			}
+			end := total
+			if i+1 < len(tr.Points) {
+				end = tr.Points[i+1].Index
+			}
+			x0 := width * float64(p.Index) / float64(total)
+			x1 := width * float64(end) / float64(total)
+			if x1 <= x0 {
+				continue
+			}
+			states[p.State] = true
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s</title></rect>`,
+				x0, y, x1-x0, rowH, phaseColor(p.State), template.HTMLEscapeString(tr.Name), p.State)
+		}
+	}
+	b.WriteString(`</svg>`)
+	var legend []legendItem
+	for _, s := range []string{"libinit", "split", "map", "reduce", "merge", "idle"} {
+		if states[s] {
+			legend = append(legend, legendItem{State: s, Color: phaseColor(s)})
+		}
+	}
+	note := fmt.Sprintf("%d workers × virtual time (%d ns span)", len(tracks), total)
+	return template.HTML(b.String()), note, legend
+}
+
+// heatmapMaxRows bounds the heatmap to the hottest links.
+const heatmapMaxRows = 24
+
+// linkHeatmapSVG renders the per-link flit series as a heatmap: one row
+// per link (hottest first), one column per cycle window.
+func linkHeatmapSVG(set *timeline.Set, app string) (template.HTML, string) {
+	links := set.Prefix("noc/" + app + "/link/")
+	if len(links) == 0 {
+		return "", ""
+	}
+	type row struct {
+		name  string
+		total float64
+		vals  []float64
+	}
+	rows := make([]row, 0, len(links))
+	var window int64
+	maxBins := 0
+	for _, sr := range links {
+		var t float64
+		for _, v := range sr.Values {
+			t += v
+		}
+		rows = append(rows, row{name: strings.TrimPrefix(sr.Name, "noc/"+app+"/link/"), total: t, vals: sr.Values})
+		window = sr.Window
+		if len(sr.Values) > maxBins {
+			maxBins = len(sr.Values)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	shown := rows
+	if len(shown) > heatmapMaxRows {
+		shown = shown[:heatmapMaxRows]
+	}
+	var peak float64
+	for _, r := range shown {
+		for _, v := range r.vals {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak == 0 || maxBins == 0 {
+		return "", ""
+	}
+	const width = 560.0
+	cellW := width / float64(maxBins)
+	rowH, gap, labelW := 10.0, 1.0, 80.0
+	height := float64(len(shown)) * (rowH + gap)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		int(width+labelW), int(height), int(width+labelW), int(height))
+	for i, r := range shown {
+		y := float64(i) * (rowH + gap)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" fill="#555">%s</text>`,
+			0.0, y+rowH-2, template.HTMLEscapeString(r.name))
+		for bin, v := range r.vals {
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.1f" fill="#4063d8" fill-opacity="%.3f"><title>%s @%d: %.0f flits</title></rect>`,
+				labelW+float64(bin)*cellW, y, cellW, rowH, 0.15+0.85*v/peak,
+				template.HTMLEscapeString(r.name), int64(bin)*window, v)
+		}
+	}
+	b.WriteString(`</svg>`)
+	note := fmt.Sprintf("top %d of %d links · %d-cycle windows · peak %.0f flits/window", len(shown), len(rows), window, peak)
+	return template.HTML(b.String()), note
+}
+
+// latencyHistogramSVG renders the packet-latency distribution as bars,
+// one per occupied log bucket.
+func latencyHistogramSVG(d *timeline.HistogramData) (template.HTML, string) {
+	if d.Count == 0 || len(d.Buckets) == 0 {
+		return "", ""
+	}
+	var peak int64
+	for _, b := range d.Buckets {
+		if b.Count > peak {
+			peak = b.Count
+		}
+	}
+	const width, height = 560.0, 80.0
+	barW := width / float64(len(d.Buckets))
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		int(width), int(height)+12, int(width), int(height)+12)
+	for i, bk := range d.Buckets {
+		h := height * float64(bk.Count) / float64(peak)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.1f" fill="#2a9d8f"><title>[%d,%d] cycles: %d packets</title></rect>`,
+			float64(i)*barW, height-h, barW*0.9, h, bk.Lo, bk.Hi, bk.Count)
+	}
+	fmt.Fprintf(&b, `<text x="0" y="%d" font-size="9" fill="#555">%d</text>`, int(height)+10, d.Min)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="#555" text-anchor="end">%d cycles</text>`,
+		int(width), int(height)+10, d.Max)
+	b.WriteString(`</svg>`)
+	note := fmt.Sprintf("%d packets · p50 %d · p95 %d · p99 %d · max %d cycles",
+		d.Count, d.P50, d.P95, d.P99, d.Max)
+	return template.HTML(b.String()), note
+}
+
+// samplerSparks renders the benchmark's windowed samplers (energy, island
+// utilization, steals) as labelled sparklines, in set order.
+func samplerSparks(set *timeline.Set, app string) []timelineSpark {
+	var out []timelineSpark
+	for _, sr := range set.Prefix("expt/" + app + "/") {
+		if sr.Kind != timeline.KindSampler {
+			continue
+		}
+		out = append(out, timelineSpark{
+			Name:  strings.TrimPrefix(sr.Name, "expt/"+app+"/"),
+			Unit:  sr.Unit,
+			Spark: sparkSVG(sr.Values),
+		})
+	}
+	return out
+}
+
+// timelineMarkdown renders the set's compact markdown summary: histogram
+// quantiles plus sparkline rows for every sampler.
+func timelineMarkdown(set *timeline.Set) string {
+	if set == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("## Timelines\n\n")
+	var hists, samplers, tracks int
+	for _, sr := range set.Series {
+		switch sr.Kind {
+		case timeline.KindHistogram:
+			hists++
+		case timeline.KindSampler:
+			samplers++
+		case timeline.KindTrack:
+			tracks++
+		}
+	}
+	fmt.Fprintf(&b, "%d sampler(s), %d track(s), %d histogram(s).\n\n", samplers, tracks, hists)
+	if hists > 0 {
+		b.WriteString("| histogram | count | p50 | p95 | p99 | max |\n|---|---|---|---|---|---|\n")
+		for _, sr := range set.Series {
+			if sr.Kind != timeline.KindHistogram || sr.Histogram == nil {
+				continue
+			}
+			d := sr.Histogram
+			fmt.Fprintf(&b, "| `%s` | %d | %d | %d | %d | %d |\n", sr.Name, d.Count, d.P50, d.P95, d.P99, d.Max)
+		}
+		b.WriteString("\n")
+	}
+	for _, app := range timelineApps(set) {
+		fmt.Fprintf(&b, "### %s\n\n", app)
+		fmt.Fprintf(&b, "| series | window | sparkline |\n|---|---|---|\n")
+		for _, sr := range set.Prefix("expt/" + app + "/") {
+			if sr.Kind != timeline.KindSampler {
+				continue
+			}
+			fmt.Fprintf(&b, "| `%s` | %d | %s |\n", sr.Name, sr.Window, sparkGlyphs(sr.Values))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

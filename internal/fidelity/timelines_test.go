@@ -1,0 +1,104 @@
+package fidelity
+
+import (
+	"strings"
+	"testing"
+
+	"wivfi/internal/obs"
+	"wivfi/internal/timeline"
+)
+
+// sampleTimelines builds a small set with every series kind the report
+// renders: worker phase tracks, link samplers, a latency histogram and a
+// windowed energy sampler.
+func sampleTimelines() *timeline.Set {
+	col := timeline.NewCollector()
+	for w := 0; w < 2; w++ {
+		tr := timeline.NewTrack(timeline.Meta{Name: "expt/wc/worker/0" + string(rune('0'+w)) + "/phase", IndexUnit: "vns"})
+		tr.Set(0, "libinit")
+		tr.Set(100, "map")
+		tr.Set(700, "reduce")
+		tr.Set(900, "merge")
+		tr.Set(1000, "done")
+		col.AddSeries(tr.Series())
+	}
+	for _, link := range []string{"0-1", "1-2"} {
+		s := timeline.NewSampler(timeline.Meta{Name: "noc/wc/link/" + link, IndexUnit: "cycles", Unit: "flits"}, 64, timeline.Sum)
+		for c := int64(0); c < 1024; c += 32 {
+			s.Add(c, 4)
+		}
+		col.AddSeries(s.Series())
+	}
+	h := timeline.NewHistogram(timeline.Meta{Name: "noc/wc/latency", IndexUnit: "packets", Unit: "cycles"})
+	for v := int64(1); v <= 200; v++ {
+		h.Observe(v)
+	}
+	col.AddSeries(h.Series())
+	e := timeline.NewSampler(timeline.Meta{Name: "expt/wc/energy/winoc-best", IndexUnit: "vns", Unit: "J"}, 10, timeline.Sum)
+	e.Add(5, 1.5)
+	e.Add(25, 2.5)
+	col.AddSeries(e.Series())
+	return col.Export("test")
+}
+
+func TestReportRendersTimelines(t *testing.T) {
+	set := sampleTimelines()
+	html, err := renderHTML(ReportData{Title: "t", Timelines: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<h2>Timelines</h2>",
+		"Worker phase strips",
+		"Link heatmap",
+		"Packet latency",
+		"energy/winoc-best",
+		`fill="#4063d8"`, // map phase rect and heatmap cells
+		"p50",
+	} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("HTML timelines section missing %q", want)
+		}
+	}
+
+	md := renderMarkdown(ReportData{Title: "t", Timelines: set})
+	for _, want := range []string{"## Timelines", "noc/wc/latency", "expt/wc/energy/winoc-best"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown timelines section missing %q", want)
+		}
+	}
+}
+
+func TestReportWithoutTimelinesUnchanged(t *testing.T) {
+	html, err := renderHTML(ReportData{Title: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(html), "<h2>Timelines</h2>") {
+		t.Error("timelines section rendered with nil set")
+	}
+	if strings.Contains(renderMarkdown(ReportData{Title: "t"}), "## Timelines") {
+		t.Error("markdown timelines section rendered with nil set")
+	}
+}
+
+func TestManifestHistogramRows(t *testing.T) {
+	m := &obs.Manifest{
+		Command: "test",
+		Histograms: []obs.HistogramSummary{
+			{Name: "noc/wc/latency", Unit: "cycles", Count: 200, Min: 1, P50: 100, P95: 191, P99: 199, Max: 200},
+		},
+	}
+	html, err := renderHTML(ReportData{Title: "t", Manifest: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<th>p95</th>", "noc/wc/latency"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("manifest histogram table missing %q", want)
+		}
+	}
+	if !strings.Contains(renderMarkdown(ReportData{Title: "t", Manifest: m}), "| noc/wc/latency | 200 |") {
+		t.Error("markdown manifest histogram row missing")
+	}
+}

@@ -162,6 +162,9 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	mrRuns.Add(1)
 	runSpan := obs.StartSpan("mr.run", job.Name)
 	defer runSpan.End()
+	// Time-resolved series (nil and allocation-free when no timeline
+	// collector is installed).
+	tl := newRunTimeline(job.Name, workers, len(data))
 
 	// ---- Split: divide records into tasks and deal them round-robin ----
 	splitSpan := obs.StartSpan("mr.split", job.Name)
@@ -197,6 +200,9 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	stats.SplitTime = time.Since(splitStart)
 	splitSpan.End()
 	mrTasks.Add(int64(numTasks))
+	// One work item per task created, so the split phase has nonzero
+	// width on the index axis before map begins.
+	tl.advance(int64(numTasks))
 
 	// ---- Map: work-stealing workers with per-worker combiners ----
 	mapSpan := obs.StartSpan("mr.map", job.Name)
@@ -214,6 +220,7 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 			defer wg.Done()
 			wspan := obs.StartSpanOn(tracks[w], "mr.map.worker", job.Name)
 			defer wspan.End()
+			tl.setPhase(w, "map")
 			local := make(map[K]V)
 			emit := func(k K, v V) {
 				if old, ok := local[k]; ok {
@@ -244,7 +251,9 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 					}
 					steals[w]++
 					obs.Instant(tracks[w], "mr.steal", job.Name)
+					tl.steal()
 				}
+				tl.queueDepth(queues[w].size())
 				tspan := obs.StartSpanOn(tracks[w], "mr.task", job.Name)
 				lo, hi := bounds[idx][0], bounds[idx][1]
 				for r := lo; r < hi; r++ {
@@ -252,6 +261,7 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 					records[w]++
 				}
 				tspan.End()
+				tl.advance(int64(hi - lo))
 			}
 			locals[w] = local
 		}(w)
@@ -284,6 +294,7 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 			defer sg.Done()
 			sspan := obs.StartSpanOn(tracks[w], "mr.reduce.shard", job.Name)
 			defer sspan.End()
+			tl.setPhase(w, "reduce")
 			shards := make([]map[K]V, workers)
 			for k, v := range locals[w] {
 				p := int(hash(k)) % workers
@@ -293,6 +304,7 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 				shards[p][k] = v
 			}
 			sharded[w] = shards
+			tl.advance(int64(len(locals[w])))
 		}(w)
 	}
 	sg.Wait()
@@ -325,6 +337,7 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	// ---- Merge: concatenate partitions and sort ----
 	mergeSpan := obs.StartSpan("mr.merge", job.Name)
 	mergeStart := time.Now()
+	tl.setPhaseAll("merge")
 	var total int
 	for _, part := range partitions {
 		total += len(part)
@@ -340,6 +353,8 @@ func Run[In any, K comparable, V any](job Job[In, K, V], data []In) (*Result[K, 
 	}
 	stats.MergeTime = time.Since(mergeStart)
 	mergeSpan.End()
+	tl.advance(int64(len(pairs)))
+	tl.setPhaseAll("done")
 	stats.UniqueKeys = len(pairs)
 	return &Result[K, V]{Pairs: pairs}, stats, nil
 }

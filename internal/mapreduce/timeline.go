@@ -1,0 +1,106 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wivfi/internal/timeline"
+)
+
+// runTimeline is one Run's time-resolved instrumentation: per-worker
+// phase tracks plus steal-rate and queue-depth series, indexed by a
+// deterministic work-item count (tasks split, then records mapped, then
+// keys sharded, then pairs merged) — never wall clock. nil when no
+// timeline collector is
+// installed; every method no-ops on a nil receiver, so the engine calls
+// them unconditionally and the disabled path allocates nothing.
+//
+// With Workers > 1 the index each sample lands on depends on goroutine
+// interleaving (the totals do not); run with Workers=1 for byte-identical
+// artifacts across runs. The virtual-time pipeline in internal/expt
+// derives its timelines from the deterministic simulator instead.
+type runTimeline struct {
+	idx    atomic.Int64 // records mapped + keys sharded so far
+	phase  []*timeline.Track
+	steals *timeline.Sampler
+	depth  *timeline.Sampler
+}
+
+// newRunTimeline builds the run's series against the installed collector,
+// or returns nil when timelines are disabled. The sampler window is sized
+// so a full pass over the input spans ~64 windows regardless of input
+// size.
+func newRunTimeline(job string, workers, numRecords int) *runTimeline {
+	col := timeline.Active()
+	if col == nil {
+		return nil
+	}
+	if job == "" {
+		job = "job"
+	}
+	window := int64(numRecords / 64)
+	if window < 1 {
+		window = 1
+	}
+	rt := &runTimeline{
+		phase:  make([]*timeline.Track, workers),
+		steals: col.Sampler(timeline.Meta{Name: "mr/" + job + "/steals", IndexUnit: "records", Unit: "steals"}, window, timeline.Sum),
+		depth:  col.Sampler(timeline.Meta{Name: "mr/" + job + "/queue-depth", IndexUnit: "records", Unit: "tasks"}, window, timeline.Mean),
+	}
+	for w := range rt.phase {
+		rt.phase[w] = col.Track(timeline.Meta{Name: fmt.Sprintf("mr/%s/worker/%02d/phase", job, w), IndexUnit: "records"})
+		rt.phase[w].Set(0, "split")
+	}
+	return rt
+}
+
+// now returns the current index.
+func (rt *runTimeline) now() int64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.idx.Load()
+}
+
+// advance moves the index forward by n records and returns the new value.
+func (rt *runTimeline) advance(n int64) int64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.idx.Add(n)
+}
+
+// setPhase records worker w entering a phase at the current index.
+func (rt *runTimeline) setPhase(w int, state string) {
+	if rt == nil {
+		return
+	}
+	rt.phase[w].Set(rt.idx.Load(), state)
+}
+
+// setPhaseAll records every worker entering a phase (split, merge).
+func (rt *runTimeline) setPhaseAll(state string) {
+	if rt == nil {
+		return
+	}
+	idx := rt.idx.Load()
+	for _, tr := range rt.phase {
+		tr.Set(idx, state)
+	}
+}
+
+// steal records one steal event at the current index.
+func (rt *runTimeline) steal() {
+	if rt == nil {
+		return
+	}
+	rt.steals.Add(rt.idx.Load(), 1)
+}
+
+// queueDepth samples a worker's local queue size at the current index.
+func (rt *runTimeline) queueDepth(size int) {
+	if rt == nil {
+		return
+	}
+	rt.depth.Add(rt.idx.Load(), float64(size))
+}

@@ -1,0 +1,126 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wivfi/internal/timeline"
+)
+
+func wcJob(workers int) (Job[string, string, int], []string) {
+	job := Job[string, string, int]{
+		Name: "wc",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(a, b int) int { return a + b },
+		Workers: workers,
+		KeyLess: func(a, b string) bool { return a < b },
+	}
+	lines := make([]string, 300)
+	for i := range lines {
+		lines[i] = "the quick brown fox jumps over the lazy dog"
+	}
+	return job, lines
+}
+
+func TestRunEmitsTimelines(t *testing.T) {
+	col := timeline.NewCollector()
+	timeline.Install(col)
+	defer timeline.Install(nil)
+
+	job, lines := wcJob(2)
+	_, stats, err := Run(job, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := col.Export("test")
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-worker phase tracks covering split..done.
+	tracks := set.Prefix("mr/wc/worker/")
+	if len(tracks) != 2 {
+		t.Fatalf("worker tracks = %d, want 2", len(tracks))
+	}
+	// Every track starts in split and ends done; a worker that happens to
+	// process nothing can lose its zero-width middle phases to overwrite,
+	// but across the workers all phases must appear.
+	seen := map[string]bool{}
+	for _, tr := range tracks {
+		if tr.Kind != timeline.KindTrack {
+			t.Fatalf("%s kind = %s", tr.Name, tr.Kind)
+		}
+		if tr.Points[0].Index != 0 || tr.Points[0].State != "split" {
+			t.Errorf("%s does not start in split: %v", tr.Name, tr.Points[0])
+		}
+		if last := tr.Points[len(tr.Points)-1]; last.State != "done" {
+			t.Errorf("%s does not end done: %v", tr.Name, last)
+		}
+		for _, p := range tr.Points {
+			seen[p.State] = true
+		}
+	}
+	for _, want := range []string{"split", "map", "reduce", "merge", "done"} {
+		if !seen[want] {
+			t.Errorf("no worker track shows state %q", want)
+		}
+	}
+	// Queue-depth series exists; steal series mass equals Stats.Steals.
+	if set.Lookup("mr/wc/queue-depth") == nil {
+		t.Fatal("no queue-depth series")
+	}
+	st := set.Lookup("mr/wc/steals")
+	if st == nil {
+		t.Fatal("no steals series")
+	}
+	var mass float64
+	for _, v := range st.Values {
+		mass += v
+	}
+	if int(mass) != stats.Steals {
+		t.Fatalf("steal series mass = %v, Stats.Steals = %d", mass, stats.Steals)
+	}
+}
+
+func TestTimelineDeterministicSingleWorker(t *testing.T) {
+	run := func() []byte {
+		col := timeline.NewCollector()
+		timeline.Install(col)
+		defer timeline.Install(nil)
+		job, lines := wcJob(1)
+		if _, _, err := Run(job, lines); err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := json.Marshal(col.Export("test"))
+		return blob
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("single-worker timelines differ across runs")
+	}
+}
+
+func TestRunDisabledTimelineNoSeries(t *testing.T) {
+	timeline.Install(nil)
+	job, lines := wcJob(2)
+	before, statsBefore, err := Run(job, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enabling timelines must not change results or stats totals.
+	col := timeline.NewCollector()
+	timeline.Install(col)
+	defer timeline.Install(nil)
+	after, statsAfter, err := Run(job, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Pairs) != len(after.Pairs) || statsBefore.RecordsMapped != statsAfter.RecordsMapped {
+		t.Fatal("timeline collection changed results")
+	}
+}

@@ -18,6 +18,11 @@ var (
 	desPackets  = obs.NewCounter("noc.des.packets_delivered")
 	desCycles   = obs.NewCounter("noc.des.cycles")
 	desFlitHops = obs.NewCounter("noc.des.flit_hops")
+	// desStalled counts packets still in flight when a run hit MaxCycles.
+	// Nonzero means some DESResult in this process was truncated — a
+	// signal that would otherwise be visible only in that result's
+	// Stalled field.
+	desStalled = obs.NewCounter("noc.des.stalled_packets")
 )
 
 // Packet is one network packet for the discrete simulator.
@@ -50,7 +55,11 @@ func DefaultDESConfig() DESConfig {
 
 // DESResult reports the outcome of one simulation.
 type DESResult struct {
-	Delivered        int
+	Delivered int
+	// AvgLatencyCycles is the mean latency of *delivered* packets only.
+	// Packets stalled at MaxCycles (see Stalled) never eject, so they are
+	// excluded — on a truncated run this average understates the true
+	// latency the stalled packets would have seen.
 	AvgLatencyCycles float64
 	MaxLatencyCycles int64
 	Cycles           int64
@@ -123,22 +132,34 @@ type binding struct {
 // UpDown on irregular fabrics) or the run may hit MaxCycles with stalled
 // packets.
 func RunDES(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig) (DESResult, error) {
-	return runDESHooked(rt, packets, nm, cfg, nil)
+	return runDESHooked(rt, packets, nm, cfg, desHooks{})
 }
 
 // runDESWithHook runs the simulation collecting every delivered packet's
 // latency.
 func runDESWithHook(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig) ([]int64, error) {
 	var lats []int64
-	_, err := runDESHooked(rt, packets, nm, cfg, func(id int, latency int64) {
-		lats = append(lats, latency)
+	_, err := runDESHooked(rt, packets, nm, cfg, desHooks{
+		onDeliver: func(id int, latency int64) {
+			lats = append(lats, latency)
+		},
 	})
 	return lats, err
 }
 
-// runDESHooked is the simulator core; onDeliver (optional) fires once per
-// delivered packet with its latency in cycles.
-func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig, onDeliver func(id int, latency int64)) (DESResult, error) {
+// desHooks are the simulator core's optional observation points. Both fire
+// on simulated-time events with simulated-time arguments, so anything
+// built on them is deterministic.
+type desHooks struct {
+	// onDeliver fires once per delivered packet with its latency in cycles.
+	onDeliver func(id int, latency int64)
+	// onForward fires once per flit forwarded over the link Adj[u][ai] at
+	// the given cycle (injection hops included).
+	onForward func(u, ai int, cycle int64)
+}
+
+// runDESHooked is the simulator core.
+func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig, hooks desHooks) (DESResult, error) {
 	t := rt.topo
 	n := t.NumSwitches()
 	if cfg.BufDepthFlits <= 0 || cfg.WIBufDepthFlits <= 0 || cfg.MaxCycles <= 0 {
@@ -256,8 +277,8 @@ func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg 
 		if lat > res.MaxLatencyCycles {
 			res.MaxLatencyCycles = lat
 		}
-		if onDeliver != nil {
-			onDeliver(ps.ID, lat)
+		if hooks.onDeliver != nil {
+			hooks.onDeliver(ps.ID, lat)
 		}
 	}
 
@@ -286,8 +307,8 @@ func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg 
 						if lat > res.MaxLatencyCycles {
 							res.MaxLatencyCycles = lat
 						}
-						if onDeliver != nil {
-							onDeliver(fl.p.ID, lat)
+						if hooks.onDeliver != nil {
+							hooks.onDeliver(fl.p.ID, lat)
 						}
 					}
 				}
@@ -346,6 +367,9 @@ func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg 
 				}
 				dst.push(flitRef{p: fl.p, idx: fl.idx, arrived: cycle + delay[u][ai] - 1})
 				res.TotalFlitHops++
+				if hooks.onForward != nil {
+					hooks.onForward(u, ai, cycle)
+				}
 				if isWireless {
 					res.EnergyPJ += nm.WirelessHopPJ()
 					res.WirelessFlitHops++
@@ -393,6 +417,8 @@ func runDESHooked(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg 
 	desCycles.Add(res.Cycles)
 	desFlitHops.Add(res.TotalFlitHops)
 	if remaining > 0 {
+		desStalled.Add(int64(remaining))
+		obs.Logf("noc: DES hit MaxCycles=%d with %d of %d packets stalled (deadlock or overload); AvgLatencyCycles covers delivered packets only", cfg.MaxCycles, remaining, len(states)+len(localOnly))
 		return res, fmt.Errorf("noc: %d packets undelivered after %d cycles (deadlock or overload)", remaining, cfg.MaxCycles)
 	}
 	return res, nil

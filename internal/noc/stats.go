@@ -65,9 +65,23 @@ func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel
 		return nil, err
 	}
 	stats := &DESStats{DESResult: base}
+	stats.Links = staticLinkStats(rt, packets, base.Cycles)
 
-	// Per-link traversal counts from the static routes: in a delivered-all
-	// run every flit of every packet traverses exactly its route.
+	// Latency distribution: re-run with per-packet capture (the simulator
+	// is deterministic, so the replay observes identical behaviour).
+	lat, err := runDESWithHook(rt, packets, nm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	stats.Latencies = lat
+	return stats, nil
+}
+
+// staticLinkStats derives per-directed-link flit counts from the static
+// routes: in a delivered-all run every flit of every packet traverses
+// exactly its route. Hottest link first.
+func staticLinkStats(rt *RouteTable, packets []Packet, cycles int64) []LinkStat {
 	type key struct{ from, to int }
 	counts := map[key]int64{}
 	for _, pk := range packets {
@@ -81,6 +95,7 @@ func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel
 			cur = l.To
 		}
 	}
+	var links []LinkStat
 	for k, flits := range counts {
 		// find the link metadata
 		var meta topo.Link
@@ -91,34 +106,25 @@ func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel
 			}
 		}
 		util := 0.0
-		if base.Cycles > 0 {
-			util = float64(flits) / float64(base.Cycles)
+		if cycles > 0 {
+			util = float64(flits) / float64(cycles)
 		}
-		stats.Links = append(stats.Links, LinkStat{
+		links = append(links, LinkStat{
 			From: k.from, To: k.to,
 			Type: meta.Type, Channel: meta.Channel,
 			Flits: flits, Utilization: util,
 		})
 	}
-	sort.Slice(stats.Links, func(i, j int) bool {
-		if stats.Links[i].Flits != stats.Links[j].Flits {
-			return stats.Links[i].Flits > stats.Links[j].Flits
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Flits != links[j].Flits {
+			return links[i].Flits > links[j].Flits
 		}
-		if stats.Links[i].From != stats.Links[j].From {
-			return stats.Links[i].From < stats.Links[j].From
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
 		}
-		return stats.Links[i].To < stats.Links[j].To
+		return links[i].To < links[j].To
 	})
-
-	// Latency distribution: re-run with per-packet capture (the simulator
-	// is deterministic, so the replay observes identical behaviour).
-	lat, err := runDESWithHook(rt, packets, nm, cfg)
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	stats.Latencies = lat
-	return stats, nil
+	return links
 }
 
 // SaturationPoint is one sample of a throughput sweep.

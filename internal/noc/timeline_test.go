@@ -1,0 +1,169 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wivfi/internal/timeline"
+)
+
+func timelineTraffic(n int) []Packet {
+	rng := rand.New(rand.NewSource(9))
+	var pkts []Packet
+	for i := 0; i < n; i++ {
+		s := rng.Intn(64)
+		d := rng.Intn(64)
+		pkts = append(pkts, Packet{ID: i, Src: s, Dst: d, Flits: 4, Inject: int64(rng.Intn(4000))})
+	}
+	return pkts
+}
+
+func TestRunDESTimelineMatchesPlainRun(t *testing.T) {
+	rt := meshRT(t, XY)
+	pkts := timelineTraffic(400)
+	plain, err := RunDES(rt, pkts, defaultNM(), DefaultDESConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, series, err := RunDESTimeline(rt, pkts, defaultNM(), DefaultDESConfig(), "noc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DESResult != plain {
+		t.Fatalf("timeline run perturbed aggregates:\n%+v\n%+v", stats.DESResult, plain)
+	}
+	if len(stats.Latencies) != plain.Delivered {
+		t.Fatalf("latencies = %d, delivered = %d", len(stats.Latencies), plain.Delivered)
+	}
+
+	// Series: at least one link sampler plus the latency histogram, and
+	// the link samplers' total mass equals TotalFlitHops.
+	var hist *timeline.Series
+	var linkFlits float64
+	window := int64(0)
+	for i := range series {
+		sr := &series[i]
+		switch {
+		case sr.Name == "noc/latency":
+			hist = sr
+		case strings.HasPrefix(sr.Name, "noc/link/"):
+			if window == 0 {
+				window = sr.Window
+			} else if sr.Window != window {
+				t.Fatalf("link windows differ: %d vs %d (shared axis broken)", sr.Window, window)
+			}
+			for _, v := range sr.Values {
+				linkFlits += v
+			}
+		default:
+			t.Fatalf("unexpected series %q", sr.Name)
+		}
+	}
+	if hist == nil || hist.Histogram == nil {
+		t.Fatal("no latency histogram emitted")
+	}
+	if hist.Histogram.Count != int64(plain.Delivered) {
+		t.Fatalf("histogram count = %d, delivered = %d", hist.Histogram.Count, plain.Delivered)
+	}
+	if int64(linkFlits) != plain.TotalFlitHops {
+		t.Fatalf("link series mass = %v, TotalFlitHops = %d", linkFlits, plain.TotalFlitHops)
+	}
+	// Histogram quantiles must bracket the exact percentiles.
+	for _, q := range []struct {
+		p float64
+	}{{0.5}, {0.95}, {0.99}} {
+		exact := stats.Percentile(q.p)
+		est := histQuantile(hist.Histogram, q.p)
+		if est < exact*7/8-1 || est > exact*9/8+1 {
+			t.Errorf("p%v: histogram %d vs exact %d", q.p, est, exact)
+		}
+	}
+}
+
+// histQuantile recomputes a quantile from exported bucket data.
+func histQuantile(d *timeline.HistogramData, p float64) int64 {
+	rank := int64(p * float64(d.Count))
+	if rank >= d.Count {
+		rank = d.Count - 1
+	}
+	var cum int64
+	for _, b := range d.Buckets {
+		cum += b.Count
+		if cum > rank {
+			hi := b.Hi
+			if hi > d.Max {
+				hi = d.Max
+			}
+			return hi
+		}
+	}
+	return d.Max
+}
+
+func TestRunDESTimelineDeterministic(t *testing.T) {
+	rt := meshRT(t, XY)
+	pkts := timelineTraffic(300)
+	_, s1, err := RunDESTimeline(rt, pkts, defaultNM(), DefaultDESConfig(), "x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := RunDESTimeline(rt, pkts, defaultNM(), DefaultDESConfig(), "x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(s1)
+	b2, _ := json.Marshal(s2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("timeline series differ across identical runs")
+	}
+}
+
+func TestLinkProbeSharedRescale(t *testing.T) {
+	rt := meshRT(t, XY)
+	p := newLinkProbe(rt, 1)
+	// Push one link far past the bin bound; a second link's early events
+	// must land in the rescaled shared axis.
+	p.record(0, 0, 0)
+	p.record(1, 0, 5)
+	for c := int64(0); c < timeline.DefaultMaxBins*4; c += 2 {
+		p.record(0, 0, c)
+	}
+	series := p.series("t/")
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	for _, sr := range series {
+		if sr.Window != 4 {
+			t.Fatalf("series %q window = %d, want 4", sr.Name, sr.Window)
+		}
+		if len(sr.Values) > timeline.DefaultMaxBins {
+			t.Fatalf("series %q has %d bins", sr.Name, len(sr.Values))
+		}
+	}
+}
+
+func TestDESStalledCounterAndSemantics(t *testing.T) {
+	rt := meshRT(t, XY)
+	// An absurdly small cycle budget forces a MaxCycles abort.
+	cfg := DefaultDESConfig()
+	cfg.MaxCycles = 3
+	before := desStalled.Value()
+	pkts := []Packet{{ID: 0, Src: 0, Dst: 63, Flits: 8, Inject: 0}}
+	res, err := RunDES(rt, pkts, defaultNM(), cfg)
+	if err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+	if res.Stalled != 1 {
+		t.Fatalf("Stalled = %d, want 1", res.Stalled)
+	}
+	if got := desStalled.Value() - before; got != 1 {
+		t.Fatalf("noc.des.stalled_packets delta = %d, want 1", got)
+	}
+	// Delivered-only semantics: no packet delivered, so the average stays 0.
+	if res.Delivered != 0 || res.AvgLatencyCycles != 0 {
+		t.Fatalf("delivered=%d avg=%v, want 0/0", res.Delivered, res.AvgLatencyCycles)
+	}
+}

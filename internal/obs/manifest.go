@@ -43,6 +43,20 @@ type FidelitySummary struct {
 	ConfigMismatch bool `json:"config_mismatch,omitempty"`
 }
 
+// HistogramSummary condenses one timeline histogram (packet latency,
+// task sizes) into the manifest: count and the headline quantiles. The
+// full bucket data lives in the timeline artifacts.
+type HistogramSummary struct {
+	Name  string `json:"name"`
+	Unit  string `json:"unit,omitempty"`
+	Count int64  `json:"count"`
+	Min   int64  `json:"min"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
 // Manifest is the machine-readable summary of one harness run. It
 // round-trips through encoding/json; the -manifest flag of the CLIs
 // writes it next to the trace.
@@ -56,6 +70,7 @@ type Manifest struct {
 	CacheDir   string                  `json:"cache_dir,omitempty"`
 	Cache      *CacheSummary           `json:"cache,omitempty"`
 	Fidelity   *FidelitySummary        `json:"fidelity,omitempty"`
+	Histograms []HistogramSummary      `json:"histograms,omitempty"`
 	Stages     []StageSummary          `json:"stages"`
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]GaugeReading `json:"gauges"`

@@ -1,0 +1,99 @@
+package timeline
+
+import (
+	"flag"
+	"fmt"
+
+	"wivfi/internal/obs"
+)
+
+// CLI bundles the -timeline flag and the install/export lifecycle shared
+// by the command-line tools, mirroring obs.CLI:
+//
+//	tcli := timeline.NewCLI(flag.CommandLine)
+//	flag.Parse()
+//	tcli.Start("nocsim")
+//	... run ...
+//	set, err := tcli.Finish()
+type CLI struct {
+	// Dir is the artifact directory from -timeline ("" = disabled).
+	Dir string
+
+	cmd   string
+	col   *Collector
+	force bool
+}
+
+// NewCLI registers the -timeline flag on fs.
+func NewCLI(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.Dir, "timeline", "", "write time-resolved series (timeline.json + CSVs) to this directory")
+	return c
+}
+
+// ForceCollector makes the next Start install a collector even without
+// -timeline — callers that embed timelines elsewhere (the fidelity HTML
+// report) need the series regardless. Call after flag parsing, before
+// Start.
+func (c *CLI) ForceCollector() { c.force = true }
+
+// Start installs the process-wide collector when -timeline was given or
+// ForceCollector was called. cmd names the tool in the exported Set.
+func (c *CLI) Start(cmd string) {
+	c.cmd = cmd
+	if c.Dir != "" || c.force {
+		c.col = NewCollector()
+		Install(c.col)
+	}
+}
+
+// Collecting reports whether Start installed a collector.
+func (c *CLI) Collecting() bool { return c.col != nil }
+
+// Export snapshots the collected series as of now. Returns nil when no
+// collector is installed — callers pass the result straight to report
+// builders, which treat nil as "no timelines section".
+func (c *CLI) Export() *Set {
+	if c.col == nil {
+		return nil
+	}
+	return c.col.Export(c.cmd)
+}
+
+// Finish exports the collected series and, when -timeline was given,
+// writes the artifact directory. Returns the exported Set (nil when no
+// collector was installed) so callers can reuse it for reports and
+// manifest summaries.
+func (c *CLI) Finish() (*Set, error) {
+	if c.col == nil {
+		return nil, nil
+	}
+	set := c.col.Export(c.cmd)
+	if c.Dir != "" {
+		if err := WriteDir(c.Dir, set); err != nil {
+			return set, fmt.Errorf("%s: writing timeline: %w", c.cmd, err)
+		}
+		obs.Logf("timeline written to %s (%d series)", c.Dir, len(set.Series))
+	}
+	return set, nil
+}
+
+// ManifestSummaries condenses the set's histograms into the manifest's
+// histogram table, sorted by name (Set order). Nil set returns nil.
+func ManifestSummaries(set *Set) []obs.HistogramSummary {
+	if set == nil {
+		return nil
+	}
+	var out []obs.HistogramSummary
+	for _, sr := range set.Series {
+		if sr.Kind != KindHistogram || sr.Histogram == nil {
+			continue
+		}
+		d := sr.Histogram
+		out = append(out, obs.HistogramSummary{
+			Name: sr.Name, Unit: sr.Unit, Count: d.Count,
+			Min: d.Min, P50: d.P50, P95: d.P95, P99: d.P99, Max: d.Max,
+		})
+	}
+	return out
+}

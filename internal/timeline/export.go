@@ -1,0 +1,133 @@
+package timeline
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Artifact file names written by WriteDir.
+const (
+	JSONFile      = "timeline.json"
+	SamplersCSV   = "samplers.csv"
+	TracksCSV     = "tracks.csv"
+	HistogramsCSV = "histograms.csv"
+)
+
+// WriteDir writes the full Set as timeline.json plus three flat CSV views
+// (samplers.csv, tracks.csv, histograms.csv) under dir, creating it if
+// needed. All outputs are deterministic functions of the Set.
+func WriteDir(dir string, set *Set) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, JSONFile), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, SamplersCSV), samplerRows(set)); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, TracksCSV), trackRows(set)); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, HistogramsCSV), histogramRows(set))
+}
+
+func samplerRows(set *Set) [][]string {
+	rows := [][]string{{"name", "index_unit", "unit", "agg", "window", "bin", "index", "value"}}
+	for _, sr := range set.Series {
+		if sr.Kind != KindSampler {
+			continue
+		}
+		for i, v := range sr.Values {
+			rows = append(rows, []string{
+				sr.Name, sr.IndexUnit, sr.Unit, sr.Agg,
+				strconv.FormatInt(sr.Window, 10),
+				strconv.Itoa(i),
+				strconv.FormatInt(int64(i)*sr.Window, 10),
+				formatFloat(v),
+			})
+		}
+	}
+	return rows
+}
+
+func trackRows(set *Set) [][]string {
+	rows := [][]string{{"name", "index_unit", "index", "state"}}
+	for _, sr := range set.Series {
+		if sr.Kind != KindTrack {
+			continue
+		}
+		for _, p := range sr.Points {
+			rows = append(rows, []string{
+				sr.Name, sr.IndexUnit, strconv.FormatInt(p.Index, 10), p.State,
+			})
+		}
+	}
+	return rows
+}
+
+func histogramRows(set *Set) [][]string {
+	rows := [][]string{{"name", "index_unit", "unit", "lo", "hi", "count"}}
+	for _, sr := range set.Series {
+		if sr.Kind != KindHistogram || sr.Histogram == nil {
+			continue
+		}
+		for _, b := range sr.Histogram.Buckets {
+			rows = append(rows, []string{
+				sr.Name, sr.IndexUnit, sr.Unit,
+				strconv.FormatInt(b.Lo, 10),
+				strconv.FormatInt(b.Hi, 10),
+				strconv.FormatInt(b.Count, 10),
+			})
+		}
+	}
+	return rows
+}
+
+// formatFloat renders values with %g like encoding/json, so the CSV and
+// JSON views of one sampler agree byte for byte.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("timeline: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSetFile loads a timeline.json written by WriteDir.
+func ReadSetFile(path string) (*Set, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var set Set
+	if err := json.Unmarshal(blob, &set); err != nil {
+		return nil, fmt.Errorf("timeline: parsing %s: %w", path, err)
+	}
+	return &set, nil
+}

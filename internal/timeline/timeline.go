@@ -1,0 +1,501 @@
+// Package timeline is the time-resolved instrumentation layer of the
+// harness: where internal/obs records *events and totals* (spans, counters)
+// and internal/fidelity records *final figures*, timeline records how the
+// simulated system evolves — per-window link utilization, per-worker phase
+// occupancy, full latency distributions.
+//
+// Three primitives cover the paper's temporal arguments:
+//
+//   - Sampler: a fixed-window value-per-window series (flits forwarded per
+//     1k cycles on a link, joules per millisecond of virtual time). When a
+//     run outgrows the bounded bin count, adjacent windows merge and the
+//     window doubles, so memory stays O(MaxBins) for any horizon while the
+//     series remains an exact re-binning of the same data.
+//   - Histogram: a log-bucketed distribution (8 sub-buckets per octave,
+//     ≤12.5% relative bucket error) with deterministic quantile queries —
+//     the p50/p95/p99 packet latency the DES reports.
+//   - Track: discrete level changes (a worker's phase, an island's V/F
+//     point), stored as (index, state) transitions.
+//
+// Two rules inherited from internal/obs shape every producer:
+//
+//   - Indices are simulated cycles, virtual-time nanoseconds or
+//     deterministic record counts — never wall clock — so timeline
+//     artifacts are byte-identical across -j levels and across runs.
+//   - The disabled path allocates nothing: all three primitives are no-ops
+//     on a nil receiver, so instrumented code holds nil handles when no
+//     Collector is installed and calls them unconditionally.
+package timeline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Agg selects how a Sampler combines the values landing in one window.
+type Agg uint8
+
+const (
+	// Sum accumulates (rates: flits per window, joules per window).
+	Sum Agg = iota
+	// Mean averages (levels: queue depth, utilization).
+	Mean
+)
+
+func (a Agg) String() string {
+	if a == Mean {
+		return "mean"
+	}
+	return "sum"
+}
+
+// DefaultMaxBins bounds a Sampler's memory: past this many windows,
+// adjacent bins merge pairwise and the window doubles.
+const DefaultMaxBins = 256
+
+// Sampler is a fixed-window time series. Add is safe for concurrent use;
+// every method is a no-op on a nil receiver.
+type Sampler struct {
+	meta Meta
+	agg  Agg
+
+	mu     sync.Mutex
+	window int64 // current window width in index units
+	max    int   // bin capacity before rescaling
+	sums   []float64
+	counts []int64
+}
+
+// NewSampler returns a sampler with the given initial window width (index
+// units per bin, minimum 1) and the default bin bound.
+func NewSampler(meta Meta, window int64, agg Agg) *Sampler {
+	if window < 1 {
+		window = 1
+	}
+	return &Sampler{meta: meta, agg: agg, window: window, max: DefaultMaxBins}
+}
+
+// Add records value v at index idx (negative indices clamp to 0).
+func (s *Sampler) Add(idx int64, v float64) {
+	if s == nil {
+		return
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	s.mu.Lock()
+	b := idx / s.window
+	for b >= int64(s.max) {
+		s.rescale()
+		b = idx / s.window
+	}
+	for int64(len(s.sums)) <= b {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.sums[b] += v
+	s.counts[b]++
+	s.mu.Unlock()
+}
+
+// rescale merges adjacent bin pairs and doubles the window. Caller holds mu.
+func (s *Sampler) rescale() {
+	half := (len(s.sums) + 1) / 2
+	for i := 0; i < half; i++ {
+		s.sums[i] = s.sums[2*i]
+		s.counts[i] = s.counts[2*i]
+		if 2*i+1 < len(s.sums) {
+			s.sums[i] += s.sums[2*i+1]
+			s.counts[i] += s.counts[2*i+1]
+		}
+	}
+	s.sums = s.sums[:half]
+	s.counts = s.counts[:half]
+	s.window *= 2
+}
+
+// Window returns the current window width in index units.
+func (s *Sampler) Window() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window
+}
+
+// Values returns one value per window from index 0: sums for Sum samplers,
+// per-window averages for Mean samplers (empty windows read 0).
+func (s *Sampler) Values() []float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.sums))
+	for i, v := range s.sums {
+		if s.agg == Mean {
+			if s.counts[i] > 0 {
+				v /= float64(s.counts[i])
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Series exports the sampler.
+func (s *Sampler) Series() Series {
+	if s == nil {
+		return Series{}
+	}
+	return Series{
+		Meta:   s.meta,
+		Kind:   KindSampler,
+		Agg:    s.agg.String(),
+		Window: s.Window(),
+		Values: s.Values(),
+	}
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+// histSubBits gives 1<<histSubBits sub-buckets per octave.
+const histSubBits = 3
+
+// histExact is the threshold below which every value has its own bucket.
+const histExact = 1 << (histSubBits + 1) // 16
+
+// Histogram is a log-bucketed distribution of non-negative int64 samples
+// (negatives clamp to 0). Values below 16 are exact; above, buckets are
+// 1/8th of an octave wide, bounding quantile error at 12.5%. Observe is
+// safe for concurrent use; every method is a no-op on a nil receiver.
+type Histogram struct {
+	meta Meta
+
+	mu       sync.Mutex
+	buckets  []int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram(meta Meta) *Histogram {
+	return &Histogram{meta: meta}
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits+1
+	sub := int((v >> (exp - histSubBits)) & (1<<histSubBits - 1))
+	return histExact + (exp-histSubBits-1)<<histSubBits + sub
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket b.
+func bucketBounds(b int) (int64, int64) {
+	if b < histExact {
+		return int64(b), int64(b)
+	}
+	e := (b-histExact)>>histSubBits + histSubBits + 1
+	s := int64(b-histExact) & (1<<histSubBits - 1)
+	lo := int64(1)<<e + s<<(e-histSubBits)
+	return lo, lo + int64(1)<<(e-histSubBits) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	h.mu.Lock()
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the upper bound of the bucket holding the p-quantile
+// (0 <= p <= 1) — a deterministic estimate within one bucket width of the
+// exact order statistic. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileLocked(h.buckets, h.count, h.min, h.max, p)
+}
+
+func quantileLocked(buckets []int64, count, min, max int64, p float64) int64 {
+	if count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var cum int64
+	for b, c := range buckets {
+		cum += c
+		if cum > rank {
+			_, hi := bucketBounds(b)
+			if hi > max {
+				hi = max
+			}
+			if hi < min {
+				hi = min
+			}
+			return hi
+		}
+	}
+	return max
+}
+
+// Data exports the histogram's buckets and summary statistics.
+func (h *Histogram) Data() *HistogramData {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := &HistogramData{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: quantileLocked(h.buckets, h.count, h.min, h.max, 0.50),
+		P90: quantileLocked(h.buckets, h.count, h.min, h.max, 0.90),
+		P95: quantileLocked(h.buckets, h.count, h.min, h.max, 0.95),
+		P99: quantileLocked(h.buckets, h.count, h.min, h.max, 0.99),
+	}
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		d.Buckets = append(d.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return d
+}
+
+// Series exports the histogram.
+func (h *Histogram) Series() Series {
+	if h == nil {
+		return Series{}
+	}
+	return Series{Meta: h.meta, Kind: KindHistogram, Histogram: h.Data()}
+}
+
+// ---- Track -----------------------------------------------------------------
+
+// Track records discrete state changes over the index axis. Consecutive
+// identical states collapse; a second Set at the same index overwrites.
+// Set is safe for concurrent use; every method is a no-op on a nil
+// receiver.
+type Track struct {
+	meta Meta
+
+	mu     sync.Mutex
+	points []StatePoint
+}
+
+// NewTrack returns an empty track.
+func NewTrack(meta Meta) *Track {
+	return &Track{meta: meta}
+}
+
+// Set records that the track is in state from index idx onward.
+func (t *Track) Set(idx int64, state string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	n := len(t.points)
+	switch {
+	case n > 0 && t.points[n-1].State == state:
+		// no transition
+	case n > 0 && t.points[n-1].Index == idx:
+		t.points[n-1].State = state
+		if n > 1 && t.points[n-2].State == state {
+			t.points = t.points[:n-1]
+		}
+	default:
+		t.points = append(t.points, StatePoint{Index: idx, State: state})
+	}
+	t.mu.Unlock()
+}
+
+// Points returns the recorded transitions in index order as appended.
+func (t *Track) Points() []StatePoint {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StatePoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// Series exports the track.
+func (t *Track) Series() Series {
+	if t == nil {
+		return Series{}
+	}
+	return Series{Meta: t.meta, Kind: KindTrack, Points: t.Points()}
+}
+
+// ---- Exchange types --------------------------------------------------------
+
+// SchemaVersion is stamped into every exported Set; bump it when the
+// document's meaning changes.
+const SchemaVersion = 1
+
+// Series kinds.
+const (
+	KindSampler   = "sampler"
+	KindHistogram = "histogram"
+	KindTrack     = "track"
+)
+
+// Meta names a series and its units. Name is the unique hierarchical key
+// ("noc/wc/link/12-13"); IndexUnit names the x axis ("cycles", "vns",
+// "records"); Unit names the value axis ("flits", "J").
+type Meta struct {
+	Name      string `json:"name"`
+	IndexUnit string `json:"index_unit,omitempty"`
+	Unit      string `json:"unit,omitempty"`
+}
+
+// StatePoint is one track transition: the track holds State from Index
+// until the next point.
+type StatePoint struct {
+	Index int64  `json:"index"`
+	State string `json:"state"`
+}
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi].
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramData is a histogram's exported form.
+type HistogramData struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Series is one exported timeline: exactly one of Values (sampler), Points
+// (track) or Histogram is populated, per Kind.
+type Series struct {
+	Meta
+	Kind      string         `json:"kind"`
+	Agg       string         `json:"agg,omitempty"`    // samplers
+	Window    int64          `json:"window,omitempty"` // samplers
+	Values    []float64      `json:"values,omitempty"`
+	Points    []StatePoint   `json:"points,omitempty"`
+	Histogram *HistogramData `json:"histogram,omitempty"`
+}
+
+// Set is one run's complete timeline document.
+type Set struct {
+	Schema int      `json:"schema"`
+	Tool   string   `json:"tool,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Sort orders the series by name, the canonical export order.
+func (s *Set) Sort() {
+	sort.Slice(s.Series, func(i, j int) bool { return s.Series[i].Name < s.Series[j].Name })
+}
+
+// Lookup returns the named series, or nil.
+func (s *Set) Lookup(name string) *Series {
+	for i := range s.Series {
+		if s.Series[i].Name == name {
+			return &s.Series[i]
+		}
+	}
+	return nil
+}
+
+// Prefix returns every series whose name starts with prefix, in Set order.
+func (s *Set) Prefix(prefix string) []Series {
+	var out []Series
+	for _, sr := range s.Series {
+		if len(sr.Name) >= len(prefix) && sr.Name[:len(prefix)] == prefix {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: unique names, known kinds, and
+// kind-matched payloads.
+func (s *Set) Validate() error {
+	seen := make(map[string]bool, len(s.Series))
+	for _, sr := range s.Series {
+		if sr.Name == "" {
+			return fmt.Errorf("timeline: unnamed series")
+		}
+		if seen[sr.Name] {
+			return fmt.Errorf("timeline: duplicate series %q", sr.Name)
+		}
+		seen[sr.Name] = true
+		switch sr.Kind {
+		case KindSampler:
+			if sr.Window < 1 {
+				return fmt.Errorf("timeline: sampler %q window %d", sr.Name, sr.Window)
+			}
+		case KindTrack:
+		case KindHistogram:
+			if sr.Histogram == nil {
+				return fmt.Errorf("timeline: histogram %q has no data", sr.Name)
+			}
+		default:
+			return fmt.Errorf("timeline: series %q has unknown kind %q", sr.Name, sr.Kind)
+		}
+	}
+	return nil
+}
