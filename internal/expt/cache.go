@@ -33,12 +33,21 @@ import (
 // the design flow itself).
 const cacheSchemaVersion = 1
 
+// Metric names registered below. Declared constants (enforced by
+// wivfi-lint countersafe) so every lookup site shares one authoritative
+// spelling.
+const (
+	MetricCacheHits           = "expt.cache.hits"
+	MetricCacheMisses         = "expt.cache.misses"
+	MetricCacheCorruptEvicted = "expt.cache.corrupt_evicted"
+)
+
 // Process-wide cache outcome counters (the per-Suite cacheStats below
 // scope the same outcomes to one suite for its end-of-run summary).
 var (
-	cacheHitCounter     = obs.NewCounter("expt.cache.hits")
-	cacheMissCounter    = obs.NewCounter("expt.cache.misses")
-	cacheCorruptCounter = obs.NewCounter("expt.cache.corrupt_evicted")
+	cacheHitCounter     = obs.NewCounter(MetricCacheHits)
+	cacheMissCounter    = obs.NewCounter(MetricCacheMisses)
+	cacheCorruptCounter = obs.NewCounter(MetricCacheCorruptEvicted)
 )
 
 // cacheOutcome classifies one loadDesign attempt.

@@ -445,6 +445,7 @@ func renderHTML(d ReportData) ([]byte, error) {
 			// column maxima scale the mini-bars
 			colMax := map[string]float64{}
 			for _, r := range sec.Rows {
+				//lint:ordered math.Max is commutative and exact — no rounding drift from iteration order
 				for k, v := range r.Values {
 					colMax[k] = math.Max(colMax[k], v)
 				}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes of the wivfi-lint CLI.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// RunCLI is the whole wivfi-lint command: parse flags, load the packages
+// matched by the argument patterns (default ./...), run the selected
+// analyzers, print findings. It returns the process exit code, so the
+// cmd/wivfi-lint shim is one line and tests drive the real thing.
+func RunCLI(args []string, cwd string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wivfi-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable, for CI artifacts)")
+	only := fs.String("only", "", "comma-separated analyzer subset to run, e.g. determinism,nilsafe (default: all of "+strings.Join(AnalyzerNames(), ",")+")")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: wivfi-lint [-json] [-only a,b] [packages]\n\n"+
+			"Analyzers:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := Lint(cwd, patterns, *only)
+	if err != nil {
+		fmt.Fprintf(stderr, "wivfi-lint: %v\n", err)
+		return ExitError
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "wivfi-lint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "wivfi-lint: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// Lint loads the packages matched by patterns (resolved against cwd inside
+// the enclosing module) and runs the analyzer subset named by only (empty
+// = full suite) under the repo's production config.
+func Lint(cwd string, patterns []string, only string) ([]Finding, error) {
+	mod, err := FindModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if strings.TrimSpace(only) != "" {
+		names = strings.Split(only, ",")
+	}
+	analyzers, err := Select(names)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader(mod)
+	pkgs, err := loader.LoadPatterns(patterns, cwd)
+	if err != nil {
+		return nil, err
+	}
+	suite := NewSuite(DefaultConfig(mod.Path), mod.Root)
+	suite.Analyzers = analyzers
+	return suite.Run(pkgs), nil
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CounterSafeAnalyzer requires every obs counter/gauge name to be a
+// declared constant. Metric names are looked up by string in manifests,
+// fidelity summaries and tests; a literal typo'd at the registration site
+// records forever into a name nothing reads. A declared constant gives the
+// name one authoritative spelling that lookup sites can share.
+var CounterSafeAnalyzer = &Analyzer{
+	Name: "countersafe",
+	Doc: "obs.NewCounter/NewGauge name arguments must reference a declared " +
+		"constant, not an inline literal, so metric names have one " +
+		"authoritative spelling shared with every lookup site",
+	Keys: []string{"metricname"},
+	Run:  runCounterSafe,
+}
+
+func runCounterSafe(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			qname := funcQName(calleeObject(info, call))
+			if qname == "" || !contains(pass.Config.MetricFuncs, qname) || len(call.Args) == 0 {
+				return true
+			}
+			if !isDeclaredConstRef(info, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(), "metricname",
+					"%s name must be a declared constant (a literal typo here records a metric nothing reads)",
+					qname)
+			}
+			return true
+		})
+	}
+}
+
+// isDeclaredConstRef reports whether e references a declared named
+// constant (directly or via selector), as opposed to an inline literal or
+// computed string.
+func isDeclaredConstRef(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := info.Uses[v].(*types.Const)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := info.Uses[v.Sel].(*types.Const)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the repo gate: the full analyzer suite over every
+// package in the module must report nothing. This is what makes the
+// determinism/nilsafe/stdoutpure/countersafe contracts enforced-by-machine:
+// `go build ./... && go test ./...` fails on any violation with zero extra
+// tooling.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(mod.Root, []string{"./..."}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("wivfi-lint: %d finding(s); fix them or add an audited //lint:<key> <reason> annotation", len(findings))
+	}
+}
+
+// TestSeededViolationFailsCLI drives the real CLI over a fixture package
+// seeded with violations and requires the non-zero exit the CI step relies
+// on.
+func TestSeededViolationFailsCLI(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := RunCLI([]string{"./internal/lint/testdata/lint/stdout_pos"}, mod.Root, &stdout, &stderr)
+	if code != ExitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitFindings, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[stdoutpure]") {
+		t.Errorf("stdout missing [stdoutpure] findings:\n%s", stdout.String())
+	}
+}
+
+// TestCLICleanPackage pins the zero exit on a clean package.
+func TestCLICleanPackage(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := RunCLI([]string{"./internal/topo"}, mod.Root, &stdout, &stderr)
+	if code != ExitClean {
+		t.Fatalf("exit code = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %s", stdout.String())
+	}
+}
+
+// TestCLIJSON checks the machine-readable mode: a valid JSON array whose
+// entries carry file/line/analyzer/message, and still a failing exit.
+func TestCLIJSON(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := RunCLI([]string{"-json", "./internal/lint/testdata/lint/counter_pos"}, mod.Root, &stdout, &stderr)
+	if code != ExitFindings {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitFindings, stderr.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path should be module-relative, got %s", f.File)
+		}
+	}
+}
+
+// TestCLIJSONCleanIsEmptyArray keeps the no-findings JSON form a valid
+// empty array (not null), so CI artifact consumers can always json.load it.
+func TestCLIJSONCleanIsEmptyArray(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := RunCLI([]string{"-json", "./internal/topo"}, mod.Root, &stdout, &stderr)
+	if code != ExitClean {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, ExitClean, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestCLIOnlySelection runs a single analyzer and requires findings from
+// the others to vanish: counter_pos violates countersafe but is clean
+// under -only determinism.
+func TestCLIOnlySelection(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := RunCLI([]string{"-only", "determinism", "./internal/lint/testdata/lint/counter_pos"}, mod.Root, &stdout, &stderr)
+	if code != ExitClean {
+		t.Fatalf("exit code = %d, want %d\nstdout: %s", code, ExitClean, stdout.String())
+	}
+}
+
+// TestCLIUnknownAnalyzer pins the usage-error exit code.
+func TestCLIUnknownAnalyzer(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := RunCLI([]string{"-only", "nope", "./internal/topo"}, mod.Root, &stdout, &stderr); code != ExitError {
+		t.Fatalf("exit code = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing analyzer list: %s", stderr.String())
+	}
+}
+
+// TestSuppressionMatching pins the annotation scope: same line and the
+// line above suppress; two lines above does not.
+func TestSuppressionMatching(t *testing.T) {
+	s := &suppressionSet{byLine: map[string]map[int]*suppression{
+		"f.go": {
+			10: {file: "f.go", line: 10, key: "ordered", reason: "audited"},
+			20: {file: "f.go", line: 20, key: "ordered", reason: ""},
+		},
+	}}
+	if !s.use("f.go", 10, "ordered") {
+		t.Error("same-line annotation should suppress")
+	}
+	if !s.use("f.go", 11, "ordered") {
+		t.Error("line-above annotation should suppress")
+	}
+	if s.use("f.go", 12, "ordered") {
+		t.Error("two lines below should not suppress")
+	}
+	if s.use("f.go", 10, "wallclock") {
+		t.Error("key mismatch should not suppress")
+	}
+	if s.use("f.go", 20, "ordered") {
+		t.Error("reasonless annotation must not suppress")
+	}
+}
+
+// TestDefaultConfigCoversRoadmapPackages guards the config against drift:
+// every result-producing package named in the issue stays enforced.
+func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
+	cfg := DefaultConfig("wivfi")
+	for _, rel := range []string{
+		"internal/noc", "internal/mapreduce", "internal/expt", "internal/vfi",
+		"internal/qp", "internal/energy", "internal/topo", "internal/place",
+		"internal/sched", "internal/stats", "internal/fidelity",
+	} {
+		if !contains(cfg.ResultPackages, "wivfi/"+rel) {
+			t.Errorf("ResultPackages missing %s", rel)
+		}
+	}
+	if !contains(cfg.NilsafePackages, "wivfi/internal/obs") ||
+		!contains(cfg.NilsafePackages, "wivfi/internal/timeline") {
+		t.Error("NilsafePackages must cover internal/obs and internal/timeline")
+	}
+}

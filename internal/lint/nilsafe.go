@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NilsafeAnalyzer enforces the disabled-telemetry contract on collector
+// types in Config.NilsafePackages: instrumented hot paths hold nil handles
+// when telemetry is off and call methods unconditionally, so every exported
+// pointer-receiver method must begin with a nil-receiver guard or the
+// disabled path panics (and any work before the guard is paid on it).
+//
+// A collector type is one whose declaration doc comment states the
+// contract (it mentions "nil receiver"), or one listed in
+// Config.NilsafeTypes — the core primitives stay enforced even if a
+// refactor drops the comment.
+var NilsafeAnalyzer = &Analyzer{
+	Name: "nilsafe",
+	Doc: "exported pointer-receiver methods on obs/timeline collector types " +
+		"(doc comment declares the nil-receiver no-op contract) must begin " +
+		"with `if recv == nil` so the disabled path stays a zero-alloc no-op",
+	Keys: []string{"nilsafe"},
+	Run:  runNilsafe,
+}
+
+func runNilsafe(pass *Pass) {
+	if !contains(pass.Config.NilsafePackages, pass.Pkg.ImportPath) {
+		return
+	}
+	collectors := collectorTypes(pass)
+	if len(collectors) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			tname, ptr := receiverType(fn)
+			if !ptr || !collectors[tname] {
+				continue
+			}
+			recvName := receiverName(fn)
+			if recvName == "" {
+				pass.Reportf(fn.Pos(), "nilsafe",
+					"exported method %s.%s on collector type has an unnamed receiver: name it and guard `if recv == nil` first",
+					tname, fn.Name.Name)
+				continue
+			}
+			if !beginsWithNilGuard(fn.Body, recvName) {
+				pass.Reportf(fn.Pos(), "nilsafe",
+					"exported method %s.%s must begin with `if %s == nil` — collector methods are called on nil handles when telemetry is disabled",
+					tname, fn.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// collectorTypes returns the names of this package's collector types: doc
+// comment mentions the nil-receiver contract, or listed in NilsafeTypes.
+func collectorTypes(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, qual := range pass.Config.NilsafeTypes {
+		if pkg, name, ok := strings.Cut(qual, "."); ok && pkg == pass.Pkg.ImportPath {
+			out[name] = true
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				// Collapse line breaks so the contract phrase matches even
+				// when comment wrapping splits it.
+				if doc != nil && strings.Contains(
+					strings.Join(strings.Fields(strings.ToLower(doc.Text())), " "),
+					"nil receiver") {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType returns the receiver's base type name and whether the
+// receiver is a pointer.
+func receiverType(fn *ast.FuncDecl) (string, bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", false
+	}
+	t := fn.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	// Strip generic instantiation (Type[T]).
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, ptr
+	}
+	return "", ptr
+}
+
+// receiverName returns the receiver variable's name, "" when unnamed or _.
+func receiverName(fn *ast.FuncDecl) string {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// beginsWithNilGuard reports whether the first statement of body is
+// `if recv == nil { ... return ... }` (or nil == recv).
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	if !isIdentNamed(cmp.X, recv) && !isIdentNamed(cmp.Y, recv) {
+		return false
+	}
+	if !isIdentNamed(cmp.X, "nil") && !isIdentNamed(cmp.Y, "nil") {
+		return false
+	}
+	// The guard must leave the method: its body ends in a return.
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ret := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ret
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// StdoutPureAnalyzer protects the byte-identical-stdout gate: the
+// reproduce pipeline's stdout is diffed against golden output across -j
+// levels and cache states, so only the designated render paths
+// (Config.StdoutAllowed — cmd/* and examples/*) may write to it. Library
+// packages report through return values, io.Writer parameters, or the
+// stderr-only telemetry layer (obs.Logf).
+var StdoutPureAnalyzer = &Analyzer{
+	Name: "stdoutpure",
+	Doc: "fmt.Print/Printf/Println and os.Stdout references are forbidden " +
+		"outside cmd/* and examples/* render paths; library output goes " +
+		"through io.Writer parameters or stderr telemetry",
+	Keys: []string{"stdout"},
+	Run:  runStdoutPure,
+}
+
+// stdoutWriters are the fmt entry points hard-wired to os.Stdout.
+var stdoutWriters = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+func runStdoutPure(pass *Pass) {
+	if hasPrefixAny(pass.Pkg.ImportPath+"/", pass.Config.StdoutAllowed) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if qname := funcQName(calleeObject(info, n)); stdoutWriters[qname] {
+					pass.Reportf(n.Pos(), "stdout",
+						"%s writes to stdout from %s: only cmd/* and examples/* render paths may print — take an io.Writer or use obs.Logf (stderr)",
+						qname, pass.Pkg.ImportPath)
+				}
+			case *ast.SelectorExpr:
+				if obj := info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "os" && obj.Name() == "Stdout" {
+					pass.Reportf(n.Pos(), "stdout",
+						"os.Stdout referenced in %s: stdout belongs to the render paths; pass an io.Writer instead",
+						pass.Pkg.ImportPath)
+				}
+			}
+			return true
+		})
+	}
+}

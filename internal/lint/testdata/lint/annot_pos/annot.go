@@ -1,0 +1,22 @@
+// Package annot_pos seeds rotten suppression annotations: a missing
+// justification, an unknown key, and a stale annotation that silences
+// nothing. The audit trail itself is linted.
+package annot_pos
+
+import "time"
+
+// Stamp carries a keyless justification-free annotation: the finding stays
+// AND the annotation is flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() //lint:wallclock
+}
+
+// Mystery uses a key no analyzer owns.
+func Mystery() int {
+	return 1 //lint:determinsm typo'd key, nothing registers it
+}
+
+// Quiet annotates a line with nothing to suppress.
+func Quiet() int {
+	return 2 //lint:ordered stale: no map range here
+}

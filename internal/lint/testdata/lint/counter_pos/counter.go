@@ -1,0 +1,18 @@
+// Package counter_pos seeds metric-name violations: inline literals and
+// computed strings at obs registration sites.
+package counter_pos
+
+import "wivfi/internal/obs"
+
+var (
+	// A literal typo here would record a metric nothing reads.
+	runs = obs.NewCounter("fixture.runs")
+	// Computed names defeat grep just as thoroughly.
+	depth = obs.NewGauge("fixture" + ".depth")
+)
+
+// Touch keeps the registrations referenced.
+func Touch() {
+	runs.Add(1)
+	depth.Add(1)
+}

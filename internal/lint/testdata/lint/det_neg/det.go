@@ -1,0 +1,76 @@
+// Package det_neg holds the sanctioned counterparts of every det_pos
+// violation: seeded randomness, sorted-keys iteration, audited
+// annotations, and loop-local float temporaries. wivfi-lint must stay
+// silent.
+package det_neg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SeededDraw uses a seeded local source — the sanctioned path.
+func SeededDraw(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// TotalEnergy iterates sorted keys, so the float accumulation order is
+// fixed.
+func TotalEnergy(perCore map[int]float64) float64 {
+	keys := make([]int, 0, len(perCore))
+	for k := range perCore {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += perCore[k]
+	}
+	return total
+}
+
+// MaxEnergy accumulates in map order but the reduction is exact, which an
+// audit records inline.
+func MaxEnergy(perCore map[int]float64) float64 {
+	var max float64
+	//lint:ordered max of non-negative floats is exact; order cannot change the result
+	for _, e := range perCore {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// CountCores only writes ints; integer addition is order-independent.
+func CountCores(perCore map[int]float64) int {
+	n := 0
+	for range perCore {
+		n++
+	}
+	return n
+}
+
+// LocalTemp scales each entry through a loop-local float: nothing outer
+// accumulates, so iteration order is irrelevant.
+func LocalTemp(perCore map[int]float64) []float64 {
+	keys := make([]int, 0, len(perCore))
+	for k := range perCore {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		v := perCore[k]
+		v *= 2
+		out = append(out, v)
+	}
+	return out
+}
+
+// Deadline is telemetry-only wall clock, audited in place.
+func Deadline() time.Time {
+	return time.Now() //lint:wallclock progress-reporting deadline; never feeds results
+}

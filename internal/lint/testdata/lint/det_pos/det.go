@@ -1,0 +1,41 @@
+// Package det_pos seeds every determinism violation: unguarded wall
+// clock, math/rand global state, and a float accumulation driven by map
+// iteration order. wivfi-lint must flag all of them.
+package det_pos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp leaks the wall clock into a result-producing package.
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed compounds it with time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Jitter draws from the shared global source: unseeded, order-dependent
+// across goroutines.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}
+
+// TotalEnergy accumulates floats in map order: rounding differs per run.
+func TotalEnergy(perCore map[int]float64) float64 {
+	var total float64
+	for _, e := range perCore {
+		total += e
+	}
+	return total
+}
+
+// scaleAll writes floats through an outer map inside a map range.
+func scaleAll(in map[string]float64, out map[string]float64, k float64) {
+	for name, v := range in {
+		out[name] = out[name]*k + v
+	}
+}

@@ -1,0 +1,37 @@
+// Package nilsafe_neg holds collector types that honour the nil-receiver
+// contract, plus non-collector types the analyzer must leave alone.
+package nilsafe_neg
+
+// Probe is a collector primitive; every method is a no-op on a nil
+// receiver.
+type Probe struct {
+	n int64
+}
+
+// Add guards first and returns: the disabled path is a no-op.
+func (p *Probe) Add(d int64) {
+	if p == nil {
+		return
+	}
+	p.n += d
+}
+
+// Total guards with the operands reversed, which is the same contract.
+func (p *Probe) Total() int64 {
+	if nil == p {
+		return 0
+	}
+	return p.n
+}
+
+// ID is a value-receiver method: there is no nil receiver to guard.
+func (p Probe) ID() string { return "probe" }
+
+// Eager is plain data with no nil-receiver contract in its doc comment;
+// its methods may assume a live receiver.
+type Eager struct {
+	n int64
+}
+
+// Bump needs no guard: Eager is not a collector.
+func (e *Eager) Bump() { e.n++ }

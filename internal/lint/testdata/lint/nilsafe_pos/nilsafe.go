@@ -1,0 +1,30 @@
+// Package nilsafe_pos seeds nil-guard violations on collector types: the
+// doc comments declare the nil-receiver no-op contract, but the methods
+// break it.
+package nilsafe_pos
+
+// Probe is a collector primitive; every method is a no-op on a nil
+// receiver.
+type Probe struct {
+	n int64
+}
+
+// Add is missing the guard entirely: it panics on the disabled path.
+func (p *Probe) Add(d int64) {
+	p.n += d
+}
+
+// Total does work before the guard, so the disabled path pays it.
+func (p *Probe) Total() int64 {
+	t := int64(0)
+	if p == nil {
+		return t
+	}
+	return p.n + t
+}
+
+// Reset has an unnamed receiver, so it cannot guard at all.
+func (*Probe) Reset() {}
+
+// local stays unexported: the analyzer only polices the exported API.
+func (p *Probe) local() int64 { return p.n }

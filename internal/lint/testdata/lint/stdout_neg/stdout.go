@@ -1,0 +1,29 @@
+// Package stdout_neg holds the sanctioned output paths for library code:
+// io.Writer parameters, strings, stderr, and one audited stdout reference.
+package stdout_neg
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report renders into a caller-chosen sink.
+func Report(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "%s: %f\n", name, v)
+}
+
+// Render returns text instead of printing it.
+func Render(name string) string {
+	return fmt.Sprintf("[%s]", name)
+}
+
+// Warn writes diagnostics to stderr, which the byte-identical gate ignores.
+func Warn(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// Interactive detects a terminal, an audited read-only use of the handle.
+func Interactive() bool {
+	return os.Stdout != nil //lint:stdout terminal detection only reads the handle; nothing is written
+}

@@ -1,0 +1,23 @@
+// Package stdout_pos seeds stdout-purity violations in a library package:
+// direct fmt prints and an os.Stdout reference.
+package stdout_pos
+
+import (
+	"fmt"
+	"os"
+)
+
+// Report prints straight to stdout from library code.
+func Report(name string, v float64) {
+	fmt.Printf("%s: %f\n", name, v)
+}
+
+// Banner compounds it with Println.
+func Banner() {
+	fmt.Println("banner")
+}
+
+// Writer leaks os.Stdout as a default sink.
+func Writer() *os.File {
+	return os.Stdout
+}

@@ -13,16 +13,27 @@ import (
 // Telemetry totals across every DES invocation in the process (probe
 // runs, saturation sweeps, instrumented replays). Allocation-free atomic
 // adds; they never touch simulator output.
+// Metric names registered below. Declared constants (enforced by
+// wivfi-lint countersafe) so every lookup site shares one authoritative
+// spelling.
+const (
+	MetricDESRuns             = "noc.des.runs"
+	MetricDESPacketsDelivered = "noc.des.packets_delivered"
+	MetricDESCycles           = "noc.des.cycles"
+	MetricDESFlitHops         = "noc.des.flit_hops"
+	MetricDESStalledPackets   = "noc.des.stalled_packets"
+)
+
 var (
-	desRuns     = obs.NewCounter("noc.des.runs")
-	desPackets  = obs.NewCounter("noc.des.packets_delivered")
-	desCycles   = obs.NewCounter("noc.des.cycles")
-	desFlitHops = obs.NewCounter("noc.des.flit_hops")
+	desRuns     = obs.NewCounter(MetricDESRuns)
+	desPackets  = obs.NewCounter(MetricDESPacketsDelivered)
+	desCycles   = obs.NewCounter(MetricDESCycles)
+	desFlitHops = obs.NewCounter(MetricDESFlitHops)
 	// desStalled counts packets still in flight when a run hit MaxCycles.
 	// Nonzero means some DESResult in this process was truncated — a
 	// signal that would otherwise be visible only in that result's
 	// Stalled field.
-	desStalled = obs.NewCounter("noc.des.stalled_packets")
+	desStalled = obs.NewCounter(MetricDESStalledPackets)
 )
 
 // Packet is one network packet for the discrete simulator.

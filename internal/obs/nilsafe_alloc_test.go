@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The zero Span is what StartSpan returns while telemetry is disabled, and
+// instrumented code calls its methods unconditionally — so every exported
+// Span method must be a zero-alloc no-op on the zero value. Like the
+// timeline collector test, this is reflection-driven: a newly added
+// exported method fails until it has a zero-alloc entry here.
+
+var zeroSpanCalls = map[string]func(){
+	"Span.End": func() { Span{}.End() },
+}
+
+func TestZeroSpanZeroAllocEveryExportedMethod(t *testing.T) {
+	Install(nil)
+	covered := map[string]bool{}
+	v := reflect.ValueOf(Span{})
+	for i := 0; i < v.NumMethod(); i++ {
+		key := "Span." + v.Type().Method(i).Name
+		covered[key] = true
+		mv := v.Method(i)
+		mt := mv.Type()
+		nin := mt.NumIn()
+		if mt.IsVariadic() {
+			nin--
+		}
+		args := make([]reflect.Value, nin)
+		for j := range args {
+			args[j] = reflect.Zero(mt.In(j))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s panics on the zero Span: %v", key, r)
+				}
+			}()
+			mv.Call(args)
+		}()
+		fn, ok := zeroSpanCalls[key]
+		if !ok {
+			t.Errorf("%s: new exported method has no zero-alloc regression entry; add it to zeroSpanCalls", key)
+			continue
+		}
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.0f/op on the zero Span; the disabled path must be free", key, allocs)
+		}
+	}
+	for key := range zeroSpanCalls {
+		if !covered[key] {
+			t.Errorf("zeroSpanCalls has entry %s for a method that no longer exists", key)
+		}
+	}
+}

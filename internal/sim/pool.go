@@ -12,10 +12,19 @@ import (
 // number in flight (with high-water mark). Counters are always live and
 // allocation-free; the spans in DoNamed record only while a recorder is
 // installed.
+// Metric names registered below. Declared constants (enforced by
+// wivfi-lint countersafe) so every lookup site shares one authoritative
+// spelling.
+const (
+	MetricPoolJobs        = "sim.pool.jobs"
+	MetricPoolQueueWaitNS = "sim.pool.queue_wait_ns"
+	MetricPoolInFlight    = "sim.pool.in_flight"
+)
+
 var (
-	poolJobs      = obs.NewCounter("sim.pool.jobs")
-	poolQueueWait = obs.NewCounter("sim.pool.queue_wait_ns")
-	poolInFlight  = obs.NewGauge("sim.pool.in_flight")
+	poolJobs      = obs.NewCounter(MetricPoolJobs)
+	poolQueueWait = obs.NewCounter(MetricPoolQueueWaitNS)
+	poolInFlight  = obs.NewGauge(MetricPoolInFlight)
 )
 
 // Pool bounds the number of CPU-heavy jobs (system simulations, annealing

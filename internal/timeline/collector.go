@@ -104,10 +104,10 @@ outer:
 // Export snapshots every primitive and appended series into a sorted,
 // schema-stamped Set. Nil receiver returns an empty valid Set.
 func (c *Collector) Export(tool string) *Set {
-	set := &Set{Schema: SchemaVersion, Tool: tool}
 	if c == nil {
-		return set
+		return &Set{Schema: SchemaVersion, Tool: tool}
 	}
+	set := &Set{Schema: SchemaVersion, Tool: tool}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, s := range c.samplers {

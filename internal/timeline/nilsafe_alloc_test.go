@@ -1,0 +1,116 @@
+package timeline
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The disabled-path contract: instrumented code holds nil collector
+// handles when no Collector is installed and calls methods
+// unconditionally, so every exported method on the collector types must
+// be a zero-alloc no-op on a nil receiver.
+//
+// This test is reflection-driven so a newly added exported method is
+// covered the moment it exists: it is called on a nil receiver with zero
+// arguments (a missing nil guard panics here), and it must have a
+// zero-alloc regression entry below — an unlisted method fails the test
+// until it is proven alloc-free in disabledPathCalls or documented as
+// cold-path in coldPathAllowed.
+
+var (
+	nilCollector *Collector
+	nilSampler   *Sampler
+	nilHistogram *Histogram
+	nilTrack     *Track
+)
+
+// disabledPathCalls exercises each exported method on a nil receiver the
+// way instrumented call sites do; testing.AllocsPerRun over each must be 0.
+var disabledPathCalls = map[string]func(){
+	"Collector.Sampler":   func() { nilCollector.Sampler(Meta{Name: "x"}, 1, Sum) },
+	"Collector.Histogram": func() { nilCollector.Histogram(Meta{Name: "x"}) },
+	"Collector.Track":     func() { nilCollector.Track(Meta{Name: "x"}) },
+	"Collector.AddSeries": func() { nilCollector.AddSeries() },
+	"Sampler.Add":         func() { nilSampler.Add(5, 1.5) },
+	"Sampler.Window":      func() { _ = nilSampler.Window() },
+	"Sampler.Values":      func() { _ = nilSampler.Values() },
+	"Sampler.Series":      func() { _ = nilSampler.Series() },
+	"Histogram.Observe":   func() { nilHistogram.Observe(9) },
+	"Histogram.Count":     func() { _ = nilHistogram.Count() },
+	"Histogram.Quantile":  func() { _ = nilHistogram.Quantile(0.5) },
+	"Histogram.Data":      func() { _ = nilHistogram.Data() },
+	"Histogram.Series":    func() { _ = nilHistogram.Series() },
+	"Track.Set":           func() { nilTrack.Set(3, "map") },
+	"Track.Points":        func() { _ = nilTrack.Points() },
+	"Track.Series":        func() { _ = nilTrack.Series() },
+}
+
+// coldPathAllowed documents the audited exceptions: methods that may
+// allocate on a nil receiver because they run once per run, not per event.
+var coldPathAllowed = map[string]string{
+	"Collector.Export": "returns an empty valid *Set; called once at export time, never on the hot path",
+}
+
+func TestDisabledPathZeroAllocEveryExportedMethod(t *testing.T) {
+	Install(nil)
+	covered := map[string]bool{}
+	for _, inst := range []any{nilCollector, nilSampler, nilHistogram, nilTrack} {
+		v := reflect.ValueOf(inst)
+		base := v.Type().Elem().Name()
+		for i := 0; i < v.NumMethod(); i++ {
+			name := v.Type().Method(i).Name
+			key := base + "." + name
+			covered[key] = true
+			mv := v.Method(i)
+			callWithZeroArgs(t, key, mv)
+			if reason, ok := coldPathAllowed[key]; ok {
+				if strings.TrimSpace(reason) == "" {
+					t.Errorf("%s: coldPathAllowed entry needs a justification", key)
+				}
+				continue
+			}
+			fn, ok := disabledPathCalls[key]
+			if !ok {
+				t.Errorf("%s: new exported method has no zero-alloc regression entry; add it to disabledPathCalls (or coldPathAllowed with a reason)", key)
+				continue
+			}
+			if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+				t.Errorf("%s allocates %.0f/op on the disabled path; nil receivers must be free", key, allocs)
+			}
+		}
+	}
+	// The table must not outlive the API: stale entries hide dead coverage.
+	for key := range disabledPathCalls {
+		if !covered[key] {
+			t.Errorf("disabledPathCalls has entry %s for a method that no longer exists", key)
+		}
+	}
+	for key := range coldPathAllowed {
+		if !covered[key] {
+			t.Errorf("coldPathAllowed has entry %s for a method that no longer exists", key)
+		}
+	}
+}
+
+// callWithZeroArgs invokes a bound method with zero values for every
+// parameter (and no variadic tail): a collector method missing its nil
+// guard panics here the same way it would at a disabled call site.
+func callWithZeroArgs(t *testing.T, key string, mv reflect.Value) {
+	t.Helper()
+	mt := mv.Type()
+	nin := mt.NumIn()
+	if mt.IsVariadic() {
+		nin--
+	}
+	args := make([]reflect.Value, nin)
+	for i := range args {
+		args[i] = reflect.Zero(mt.In(i))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s panics on nil receiver: %v", key, r)
+		}
+	}()
+	mv.Call(args)
+}
