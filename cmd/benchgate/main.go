@@ -1,0 +1,230 @@
+// Command benchgate turns `go test -bench -benchmem` text into a
+// machine-readable BENCH_des.json and gates the DES engine benchmarks
+// against a committed snapshot.
+//
+// Usage:
+//
+//	go test ./internal/noc -run '^$' -bench 'BenchmarkDES' -benchmem |
+//	    benchgate -out BENCH_des.json -baseline testdata/BENCH_des.json -check
+//
+// Raw ns/op numbers vary across machines, so the gate never compares them
+// directly. Instead it checks two machine-independent properties:
+//
+//   - the event engine's steady state is allocation-free (allocs/op and
+//     B/op are exactly zero), and
+//   - the self-relative speedup (reference-engine ns/op divided by
+//     event-engine ns/op, both measured in the same process on the same
+//     host) has not regressed below the committed snapshot's speedup by
+//     more than -tolerance (a fraction, default 0.30).
+//
+// Without -check the command only parses and writes the JSON, which is how
+// the committed snapshots are produced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// eventBench and referenceBench are the two benchmarks whose ratio forms
+// the speedup; allocFreeBenches must report zero allocations.
+const (
+	eventBench     = "DESEventEngine"
+	referenceBench = "DESReferenceEngine"
+)
+
+var allocFreeBenches = []string{"DESEventEngine", "DESEventEngineMesh"}
+
+// Bench is one parsed benchmark line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_des.json schema.
+type Snapshot struct {
+	Schema int `json:"schema"`
+	// SpeedupRefOverEvent is reference ns/op divided by event ns/op — the
+	// machine-independent number the gate tracks.
+	SpeedupRefOverEvent float64 `json:"speedup_ref_over_event"`
+	Benchmarks          []Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "benchmark text to parse (- for stdin)")
+		out      = flag.String("out", "", "write the parsed snapshot JSON here")
+		baseline = flag.String("baseline", "", "committed snapshot to gate against")
+		check    = flag.Bool("check", false, "enforce the alloc and speedup gates")
+		tol      = flag.Float64("tolerance", 0.30, "allowed fractional speedup regression vs baseline")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("benchgate: parsed %d benchmarks, speedup %.2fx (reference/event)\n",
+		len(snap.Benchmarks), snap.SpeedupRefOverEvent)
+
+	if !*check {
+		return
+	}
+	var base *Snapshot
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = &Snapshot{}
+		if err := json.Unmarshal(buf, base); err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
+		}
+	}
+	if errs := gate(snap, base, *tol); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: gates green")
+}
+
+// parse reads `go test -bench -benchmem` text and builds a snapshot. Lines
+// that are not benchmark results (headers, PASS, ok) are skipped.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Schema: 1}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	ref, refOK := find(snap.Benchmarks, referenceBench)
+	ev, evOK := find(snap.Benchmarks, eventBench)
+	if refOK && evOK && ev.NsPerOp > 0 {
+		snap.SpeedupRefOverEvent = ref.NsPerOp / ev.NsPerOp
+	}
+	return snap, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkDESEventEngine-8  200  5838468 ns/op  0 B/op  0 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so snapshots compare across hosts.
+func parseLine(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, seenNs
+}
+
+// gate returns every violated invariant (empty means green).
+func gate(snap, base *Snapshot, tol float64) []error {
+	var errs []error
+	for _, name := range []string{eventBench, referenceBench} {
+		if _, ok := find(snap.Benchmarks, name); !ok {
+			errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+		}
+	}
+	for _, name := range allocFreeBenches {
+		b, ok := find(snap.Benchmarks, name)
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+			continue
+		}
+		if b.AllocsPerOp != 0 || b.BytesPerOp != 0 {
+			errs = append(errs, fmt.Errorf("%s not allocation-free: %d B/op, %d allocs/op",
+				name, b.BytesPerOp, b.AllocsPerOp))
+		}
+	}
+	if base != nil && base.SpeedupRefOverEvent > 0 && snap.SpeedupRefOverEvent > 0 {
+		floor := base.SpeedupRefOverEvent * (1 - tol)
+		if snap.SpeedupRefOverEvent < floor {
+			errs = append(errs, fmt.Errorf("speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+				snap.SpeedupRefOverEvent, floor, base.SpeedupRefOverEvent, tol*100))
+		}
+	}
+	return errs
+}
+
+func find(bs []Bench, name string) (Bench, bool) {
+	for _, b := range bs {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bench{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

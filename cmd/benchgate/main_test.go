@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wivfi/internal/noc
+BenchmarkDESEventEngine-8       	     200	   5838468 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDESReferenceEngine-8   	      36	  32935141 ns/op	  688320 B/op	   16452 allocs/op
+BenchmarkDESEventEngineMesh-8   	     224	   5354649 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	wivfi/internal/noc	5.858s
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParse(t *testing.T) {
+	snap := parseSample(t)
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	ev, ok := find(snap.Benchmarks, "DESEventEngine")
+	if !ok {
+		t.Fatal("DESEventEngine missing")
+	}
+	if ev.NsPerOp != 5838468 || ev.BytesPerOp != 0 || ev.AllocsPerOp != 0 || ev.Iterations != 200 {
+		t.Fatalf("bad event bench: %+v", ev)
+	}
+	ref, ok := find(snap.Benchmarks, "DESReferenceEngine")
+	if !ok {
+		t.Fatal("DESReferenceEngine missing")
+	}
+	if ref.AllocsPerOp != 16452 {
+		t.Fatalf("bad reference bench: %+v", ref)
+	}
+	want := ref.NsPerOp / ev.NsPerOp
+	if snap.SpeedupRefOverEvent != want {
+		t.Fatalf("speedup %v, want %v", snap.SpeedupRefOverEvent, want)
+	}
+}
+
+func TestGateGreen(t *testing.T) {
+	snap := parseSample(t)
+	base := &Snapshot{Schema: 1, SpeedupRefOverEvent: snap.SpeedupRefOverEvent}
+	if errs := gate(snap, base, 0.30); len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+	// No baseline: only the alloc gates apply.
+	if errs := gate(snap, nil, 0.30); len(errs) != 0 {
+		t.Fatalf("unexpected failures without baseline: %v", errs)
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	snap := parseSample(t)
+	for i := range snap.Benchmarks {
+		if snap.Benchmarks[i].Name == "DESEventEngine" {
+			snap.Benchmarks[i].AllocsPerOp = 7
+		}
+	}
+	errs := gate(snap, nil, 0.30)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "not allocation-free") {
+		t.Fatalf("want one alloc failure, got %v", errs)
+	}
+}
+
+func TestGateSpeedupRegression(t *testing.T) {
+	snap := parseSample(t)
+	base := &Snapshot{Schema: 1, SpeedupRefOverEvent: snap.SpeedupRefOverEvent * 2}
+	errs := gate(snap, base, 0.30)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "below floor") {
+		t.Fatalf("want one speedup failure, got %v", errs)
+	}
+	// Within the band: half the baseline fails at 30% but passes at 60%.
+	if errs := gate(snap, base, 0.60); len(errs) != 0 {
+		t.Fatalf("60%% tolerance should pass, got %v", errs)
+	}
+}
+
+func TestGateMissingBench(t *testing.T) {
+	snap := &Snapshot{Schema: 1, Benchmarks: []Bench{{Name: "DESEventEngine"}}}
+	errs := gate(snap, nil, 0.30)
+	if len(errs) == 0 {
+		t.Fatal("want failures for missing benchmarks")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	wivfi/internal/noc	5.858s",
+		"goos: linux",
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 10 5 bogons",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+	b, ok := parseLine("BenchmarkY 10 5 ns/op")
+	if !ok || b.Name != "Y" {
+		t.Fatalf("plain line without GOMAXPROCS suffix: %+v ok=%v", b, ok)
+	}
+}

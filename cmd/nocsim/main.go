@@ -89,10 +89,11 @@ func main() {
 		ana.AvgLatencyCycles, ana.AvgHops, ana.EnergyPJPerFlit, 100*ana.WirelessFraction, ana.MaxLinkUtilization)
 
 	if *des {
-		var pkts []noc.Packet
+		pkts := make([]noc.Packet, 0, *packets)
 		horizon := int64(float64(*packets*4) / (*inj * float64(n)) * 1.2)
+		sampler := newTrafficSampler(traffic)
 		for i := 0; i < *packets; i++ {
-			s, d := pick(rng, traffic)
+			s, d := sampler.pick(rng)
 			pkts = append(pkts, noc.Packet{
 				ID: i, Src: s, Dst: d, Flits: 4,
 				Inject: rng.Int63n(horizon + 1),
@@ -191,21 +192,35 @@ func buildTraffic(pattern string, n int, inj float64, rng *rand.Rand) [][]float6
 	return m
 }
 
-// pick samples a (src, dst) pair proportional to the traffic matrix.
-func pick(rng *rand.Rand, m [][]float64) (int, int) {
-	var total float64
+// trafficSampler draws (src, dst) pairs proportional to a traffic matrix.
+// The matrix total and a row-major flattened copy are computed once; the
+// per-call selection walk subtracts entries one by one in the same order
+// as the original nested scan, so the sampled sequence (and downstream
+// stdout) is unchanged while the per-call cost drops from a full n^2
+// matrix rescan to a single early-exiting pass over a flat slice.
+type trafficSampler struct {
+	n     int
+	flat  []float64
+	total float64
+}
+
+func newTrafficSampler(m [][]float64) *trafficSampler {
+	s := &trafficSampler{n: len(m), flat: make([]float64, 0, len(m)*len(m))}
 	for i := range m {
 		for _, v := range m[i] {
-			total += v
+			s.flat = append(s.flat, v)
+			s.total += v
 		}
 	}
-	x := rng.Float64() * total
-	for i := range m {
-		for j, v := range m[i] {
-			x -= v
-			if x <= 0 {
-				return i, j
-			}
+	return s
+}
+
+func (s *trafficSampler) pick(rng *rand.Rand) (int, int) {
+	x := rng.Float64() * s.total
+	for k, v := range s.flat {
+		x -= v
+		if x <= 0 {
+			return k / s.n, k % s.n
 		}
 	}
 	return 0, 1

@@ -20,7 +20,6 @@
 package noc
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -136,23 +135,64 @@ type pqItem struct {
 	cost  float64
 }
 
-type pq []pqItem
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].cost != q[j].cost {
-		return q[i].cost < q[j].cost
+// pqLess orders the Dijkstra frontier by (cost, state). Items equal under
+// this order carry the same state, so they are interchangeable: whichever
+// pops first marks the state done and the duplicate is skipped. Any
+// min-heap therefore yields the same Dijkstra execution, which lets the
+// heap be a hand-rolled monomorphic one (container/heap boxed every push
+// and pop through interface{}, a measurable cost at route-build time).
+func pqLess(a, b pqItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-	return q[i].state < q[j].state
+	return a.state < b.state
 }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+func pqPush(q []pqItem, it pqItem) []pqItem {
+	q = append(q, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	return q
+}
+
+func pqPop(q []pqItem) (pqItem, []pqItem) {
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && pqLess(q[r], q[c]) {
+			c = r
+		}
+		if !pqLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return top, q
+}
+
+// dijkstraScratch holds the per-source working arrays so an all-pairs
+// route build allocates them once instead of once per source.
+type dijkstraScratch struct {
+	dist                []float64
+	prevState, prevLink []int
+	done                []bool
+	heap                []pqItem
+	rev                 []int
 }
 
 // BuildRoutes computes routes for every ordered pair under the given mode.
@@ -175,13 +215,15 @@ func buildRoutesWithCost(t *topo.Topology, costs LinkCosts, mode RoutingMode, co
 			return nil, err
 		}
 	case Shortest:
+		var scr dijkstraScratch
 		for src := 0; src < n; src++ {
-			rt.paths[src] = rt.dijkstra(src, nil, costFn)
+			rt.paths[src] = rt.dijkstra(src, nil, costFn, &scr)
 		}
 	case UpDown:
 		up := upDirections(t)
+		var scr dijkstraScratch
 		for src := 0; src < n; src++ {
-			rt.paths[src] = rt.dijkstra(src, up, costFn)
+			rt.paths[src] = rt.dijkstra(src, up, costFn, &scr)
 		}
 	default:
 		return nil, fmt.Errorf("noc: unknown routing mode %d", mode)
@@ -282,26 +324,34 @@ func upDirections(t *topo.Topology) [][]bool {
 // may take up or down links (down transitions to state 1), state 1 may only
 // take down links. States are encoded as node + phase*n. costFn, when
 // non-nil, overrides the static link cost (congestion-aware refinement).
-func (rt *RouteTable) dijkstra(src int, up [][]bool, costFn func(u, ai int) float64) [][]int {
+func (rt *RouteTable) dijkstra(src int, up [][]bool, costFn func(u, ai int) float64, scr *dijkstraScratch) [][]int {
 	t := rt.topo
 	n := t.NumSwitches()
 	numStates := n
 	if up != nil {
 		numStates = 2 * n
 	}
-	dist := make([]float64, numStates)
-	prevState := make([]int, numStates)
-	prevLink := make([]int, numStates)
+	if cap(scr.dist) < numStates {
+		scr.dist = make([]float64, numStates)
+		scr.prevState = make([]int, numStates)
+		scr.prevLink = make([]int, numStates)
+		scr.done = make([]bool, numStates)
+	}
+	dist := scr.dist[:numStates]
+	prevState := scr.prevState[:numStates]
+	prevLink := scr.prevLink[:numStates]
+	done := scr.done[:numStates]
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prevState[i] = -1
 		prevLink[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0 // phase 0
-	q := &pq{{state: src}}
-	done := make([]bool, numStates)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	q := append(scr.heap[:0], pqItem{state: src})
+	for len(q) > 0 {
+		var it pqItem
+		it, q = pqPop(q)
 		s := it.state
 		if done[s] {
 			continue
@@ -332,7 +382,7 @@ func (rt *RouteTable) dijkstra(src int, up [][]bool, costFn func(u, ai int) floa
 				dist[ns] = c
 				prevState[ns] = s
 				prevLink[ns] = ai
-				heap.Push(q, pqItem{state: ns, cost: c})
+				q = pqPush(q, pqItem{state: ns, cost: c})
 			}
 		}
 	}
@@ -349,16 +399,18 @@ func (rt *RouteTable) dijkstra(src int, up [][]bool, costFn func(u, ai int) floa
 		if math.IsInf(dist[best], 1) {
 			continue // caller reports the error
 		}
-		var rev []int
+		rev := scr.rev[:0]
 		for s := best; s != src; s = prevState[s] {
 			rev = append(rev, prevLink[s])
 		}
+		scr.rev = rev
 		path := make([]int, len(rev))
 		for i := range rev {
 			path[i] = rev[len(rev)-1-i]
 		}
 		paths[dst] = path
 	}
+	scr.heap = q[:0]
 	return paths
 }
 
@@ -459,18 +511,23 @@ func (rt *RouteTable) PathLinks(src, dst int) []topo.Link {
 
 // PathEnergyPJ returns the per-flit energy of the src->dst route under the
 // network energy model: one switch traversal per hop plus the destination
-// ejection port, plus link energies.
+// ejection port, plus link energies. It walks the stored route in place —
+// no PathLinks slice — because the phase-energy loop in internal/sim calls
+// it once per routed pair per phase.
 func (rt *RouteTable) PathEnergyPJ(src, dst int, nm energy.NetworkModel) float64 {
 	if src == dst {
 		return 0
 	}
 	var pj float64
-	for _, l := range rt.PathLinks(src, dst) {
+	cur := src
+	for _, ai := range rt.paths[src][dst] {
+		l := rt.topo.Adj[cur][ai]
 		if l.Type == topo.Wireless {
 			pj += nm.WirelessHopPJ()
 		} else {
 			pj += nm.WirelineHopPJ(l.LengthMM)
 		}
+		cur = l.To
 	}
 	pj += nm.SwitchPJPerFlitPort
 	return pj
@@ -480,8 +537,11 @@ func (rt *RouteTable) PathEnergyPJ(src, dst int, nm energy.NetworkModel) float64
 // minimizes, including the wireless token bias) of the src->dst route.
 func (rt *RouteTable) RouteCostCycles(src, dst int) float64 {
 	var cycles float64
-	for _, l := range rt.PathLinks(src, dst) {
+	cur := src
+	for _, ai := range rt.paths[src][dst] {
+		l := rt.topo.Adj[cur][ai]
 		cycles += rt.costs.linkCost(l)
+		cur = l.To
 	}
 	return cycles
 }
@@ -489,8 +549,11 @@ func (rt *RouteTable) RouteCostCycles(src, dst int) float64 {
 // BaseLatencyCycles returns the uncontended head-flit latency of the route.
 func (rt *RouteTable) BaseLatencyCycles(src, dst int) float64 {
 	var cycles float64
-	for _, l := range rt.PathLinks(src, dst) {
+	cur := src
+	for _, ai := range rt.paths[src][dst] {
+		l := rt.topo.Adj[cur][ai]
 		cycles += rt.costs.baseLatency(l)
+		cur = l.To
 	}
 	return cycles
 }

@@ -8,7 +8,7 @@ import (
 	"wivfi/internal/topo"
 )
 
-func meshRT(t *testing.T, mode RoutingMode) *RouteTable {
+func meshRT(t testing.TB, mode RoutingMode) *RouteTable {
 	t.Helper()
 	rt, err := BuildRoutes(topo.Mesh(platform.DefaultChip()), DefaultLinkCosts(), mode)
 	if err != nil {
@@ -17,7 +17,7 @@ func meshRT(t *testing.T, mode RoutingMode) *RouteTable {
 	return rt
 }
 
-func winocRT(t *testing.T, mode RoutingMode) *RouteTable {
+func winocRT(t testing.TB, mode RoutingMode) *RouteTable {
 	t.Helper()
 	chip := platform.DefaultChip()
 	tp, err := topo.SmallWorld(chip, topo.DefaultSmallWorldConfig())

@@ -55,26 +55,23 @@ func (s *DESStats) HottestLink() LinkStat {
 }
 
 // RunDESInstrumented is RunDES plus per-packet latency capture and
-// per-link flit accounting. It costs a second pass over the packet set and
-// one counter per link, so plain RunDES remains the fast path.
+// per-link flit accounting. The latency capture rides the one simulation
+// as a delivery hook (an earlier version re-ran the whole simulation for
+// it), so the only extra cost over RunDES is the link accounting.
 func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig) (*DESStats, error) {
-	// Run the plain simulation first for the aggregate result; determinism
-	// guarantees the instrumented re-run observes identical behaviour.
-	base, err := RunDES(rt, packets, nm, cfg)
+	lats := make([]int64, 0, len(packets))
+	base, err := runDESHooked(rt, packets, nm, cfg, desHooks{
+		onDeliver: func(id int, latency int64) {
+			lats = append(lats, latency)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
 	stats := &DESStats{DESResult: base}
 	stats.Links = staticLinkStats(rt, packets, base.Cycles)
-
-	// Latency distribution: re-run with per-packet capture (the simulator
-	// is deterministic, so the replay observes identical behaviour).
-	lat, err := runDESWithHook(rt, packets, nm, cfg)
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	stats.Latencies = lat
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	stats.Latencies = lats
 	return stats, nil
 }
 
@@ -83,7 +80,12 @@ func RunDESInstrumented(rt *RouteTable, packets []Packet, nm energy.NetworkModel
 // exactly its route. Hottest link first.
 func staticLinkStats(rt *RouteTable, packets []Packet, cycles int64) []LinkStat {
 	type key struct{ from, to int }
-	counts := map[key]int64{}
+	// Index each link the first time a walk crosses it: the metadata is in
+	// hand at that moment, so no per-key O(degree) adjacency rescan is
+	// needed afterwards. (An earlier version counted into a bare map and
+	// then rescanned Adj[from] once per aggregated link.)
+	idx := map[key]int{}
+	var links []LinkStat
 	for _, pk := range packets {
 		if pk.Src == pk.Dst {
 			continue
@@ -91,29 +93,24 @@ func staticLinkStats(rt *RouteTable, packets []Packet, cycles int64) []LinkStat 
 		cur := pk.Src
 		for _, ai := range rt.paths[pk.Src][pk.Dst] {
 			l := rt.topo.Adj[cur][ai]
-			counts[key{cur, l.To}] += int64(pk.Flits)
+			k := key{cur, l.To}
+			i, ok := idx[k]
+			if !ok {
+				i = len(links)
+				idx[k] = i
+				links = append(links, LinkStat{
+					From: cur, To: l.To,
+					Type: l.Type, Channel: l.Channel,
+				})
+			}
+			links[i].Flits += int64(pk.Flits)
 			cur = l.To
 		}
 	}
-	var links []LinkStat
-	for k, flits := range counts {
-		// find the link metadata
-		var meta topo.Link
-		for _, l := range rt.topo.Adj[k.from] {
-			if l.To == k.to {
-				meta = l
-				break
-			}
+	if cycles > 0 {
+		for i := range links {
+			links[i].Utilization = float64(links[i].Flits) / float64(cycles)
 		}
-		util := 0.0
-		if cycles > 0 {
-			util = float64(flits) / float64(cycles)
-		}
-		links = append(links, LinkStat{
-			From: k.from, To: k.to,
-			Type: meta.Type, Channel: meta.Channel,
-			Flits: flits, Utilization: util,
-		})
 	}
 	sort.Slice(links, func(i, j int) bool {
 		if links[i].Flits != links[j].Flits {

@@ -102,28 +102,25 @@ func (p *linkProbe) series(prefix string) []timeline.Series {
 // RunDESTimeline is RunDESInstrumented plus time-resolved capture: the
 // returned series hold one flits-per-window sampler per active link (the
 // link heatmap, shared time axis) and a packet-latency histogram named
-// <prefix>latency. Costs one extra deterministic replay over RunDES, so
-// the DESStats aggregates match a plain run exactly.
+// <prefix>latency. All captures ride the one simulation as hooks (an
+// earlier version ran a plain pass first and replayed for the probes),
+// so the DESStats aggregates match a plain run exactly.
 func RunDESTimeline(rt *RouteTable, packets []Packet, nm energy.NetworkModel, cfg DESConfig, prefix string) (*DESStats, []timeline.Series, error) {
-	base, err := RunDES(rt, packets, nm, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &DESStats{DESResult: base}
-	stats.Links = staticLinkStats(rt, packets, base.Cycles)
-
 	probe := newLinkProbe(rt, DefaultLinkWindow)
 	hist := timeline.NewHistogram(timeline.Meta{Name: prefix + "latency", IndexUnit: "cycles", Unit: "cycles"})
-	var lats []int64
-	if _, err := runDESHooked(rt, packets, nm, cfg, desHooks{
+	lats := make([]int64, 0, len(packets))
+	base, err := runDESHooked(rt, packets, nm, cfg, desHooks{
 		onDeliver: func(id int, latency int64) {
 			lats = append(lats, latency)
 			hist.Observe(latency)
 		},
 		onForward: probe.record,
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, nil, err
 	}
+	stats := &DESStats{DESResult: base}
+	stats.Links = staticLinkStats(rt, packets, base.Cycles)
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	stats.Latencies = lats
 

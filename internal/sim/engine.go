@@ -193,6 +193,15 @@ func runPhase(ph *Phase, s *System, freqs []float64) (PhaseResult, error) {
 	var netLat float64
 	var err error
 	routes := s.Routes
+	// rates is reused across fixed-point iterations; every entry is
+	// rewritten before each evaluation.
+	var rates [][]float64
+	if switchTraffic != nil {
+		rates = make([][]float64, n)
+		for i := range rates {
+			rates[i] = make([]float64, n)
+		}
+	}
 	for iter := 0; iter < 3; iter++ {
 		dur, busy, steals, err = phaseDuration(ph, s, freqs, memStall)
 		if err != nil {
@@ -204,9 +213,7 @@ func runPhase(ph *Phase, s *System, freqs []float64) (PhaseResult, error) {
 		// Convert phase flit totals into flits/cycle rates and evaluate
 		// the network.
 		cycles := dur * s.NetClockGHz * 1e9
-		rates := make([][]float64, n)
 		for i := range rates {
-			rates[i] = make([]float64, n)
 			for j := range rates[i] {
 				rates[i][j] = switchTraffic[i][j] / cycles
 			}
