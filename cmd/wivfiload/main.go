@@ -1,0 +1,100 @@
+// Command wivfiload is the deterministic load generator and saturation
+// benchmark for a running wivfid.
+//
+// Load mode (default) replays a seeded request schedule with bounded
+// concurrency and reports client-side throughput, latency and the
+// daemon-side counter deltas:
+//
+//	wivfiload -url http://localhost:8080 -n 200 -c 8 -seed 1 \
+//	          -apps mm,wc -variants 4 [-stream]
+//
+// Saturation mode (-sat) measures the service's two paths: first it runs
+// -cold distinct configurations (each a full design pipeline), then it
+// replays -hot requests over those now-memoized configs, and reports cold
+// vs hot QPS, the speedup, and the daemon-side tail latency derived from
+// /metrics histogram deltas:
+//
+//	wivfiload -sat -url http://localhost:8080 -app mm -cold 4 -hot 200 \
+//	          [-min-speedup 10]
+//
+// Both modes print one JSON report document on stdout. -min-speedup (with
+// -sat) exits non-zero when the hot path fails to beat the cold path by
+// the given factor — the CI gate for the result store.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wivfi/internal/serve"
+)
+
+func main() {
+	var (
+		url  = flag.String("url", "http://localhost:8080", "wivfid base URL")
+		conc = flag.Int("c", 8, "concurrent in-flight requests")
+		seed = flag.Int64("seed", 1, "schedule seed (same seed, same requests)")
+
+		n        = flag.Int("n", 100, "load mode: total requests")
+		appsFlag = flag.String("apps", "mm", "load mode: comma-separated benchmarks to draw from")
+		variants = flag.Int("variants", 2, "load mode: distinct config variants per app")
+		stream   = flag.Bool("stream", false, "load mode: request NDJSON event streams")
+
+		sat        = flag.Bool("sat", false, "run the saturation benchmark instead of plain load")
+		app        = flag.String("app", "mm", "saturation: benchmark to design")
+		cold       = flag.Int("cold", 4, "saturation: distinct cold configs (full pipelines)")
+		hot        = flag.Int("hot", 200, "saturation: requests replayed over the warm configs")
+		minSpeedup = flag.Float64("min-speedup", 0, "saturation: exit non-zero when hot/cold QPS falls below this factor (0 = no gate)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "wivfiload: %v\n", err)
+		os.Exit(1)
+	}
+	emit := func(v any) {
+		blob, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(blob))
+	}
+
+	if *sat {
+		rep, err := serve.RunSaturation(*url, serve.SaturationOptions{
+			App: *app, ColdConfigs: *cold, HotRequests: *hot,
+			Concurrency: *conc, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		emit(rep)
+		fmt.Fprintf(os.Stderr, "wivfiload: cold %.1f qps, hot %.1f qps, speedup %.1fx, hot p50 %gms p99 %gms\n",
+			rep.ColdQPS, rep.HotQPS, rep.SpeedupX, rep.HotP50MS, rep.HotP99MS)
+		if *minSpeedup > 0 && rep.SpeedupX < *minSpeedup {
+			fail(fmt.Errorf("hot path speedup %.1fx below required %.1fx", rep.SpeedupX, *minSpeedup))
+		}
+		return
+	}
+
+	rep, err := serve.RunLoad(*url, serve.LoadOptions{
+		Requests:    *n,
+		Concurrency: *conc,
+		Seed:        *seed,
+		Apps:        strings.Split(*appsFlag, ","),
+		Variants:    *variants,
+		Stream:      *stream,
+	})
+	if err != nil {
+		fail(err)
+	}
+	emit(rep)
+	fmt.Fprintf(os.Stderr, "wivfiload: %d requests, %d failures, %.1f qps sustained\n",
+		rep.Requests, rep.Failures, rep.QPS)
+	if rep.Failures > 0 {
+		fail(fmt.Errorf("%d of %d requests failed", rep.Failures, rep.Requests))
+	}
+}

@@ -188,24 +188,34 @@ func loadDesign(cacheDir string, cfg Config, appName string) (platform.Profile, 
 
 // saveDesign writes one cache entry, best-effort: it returns the first
 // error for observability (tests, logging) but callers may ignore it — a
-// failed write only costs future recomputation. Files are written
-// atomically and the entry directory is created on demand, so concurrent
-// writers of the same key converge on identical content.
+// failed write only costs future recomputation.
+//
+// The entry is crash-safe and race-safe as a unit: all four files are
+// written into a hidden temp directory which is then renamed into place,
+// so a reader can never observe a partially written entry (a crash leaves
+// only an ignored .tmp-* directory) and concurrent writers of the same key
+// race on the final rename — the loser detects the winner's entry, which
+// holds identical content, and quietly discards its own.
 func saveDesign(cacheDir string, cfg Config, appName string, prof platform.Profile, plan vfi.Plan) error {
 	dir, err := entryDir(cacheDir, cfg, appName)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return err
 	}
-	if err := platform.SaveProfile(filepath.Join(dir, "profile.json"), prof); err != nil {
+	tmp, err := os.MkdirTemp(cacheDir, ".tmp-"+filepath.Base(dir)+"-*")
+	if err != nil {
 		return err
 	}
-	if err := platform.SaveVFIConfig(filepath.Join(dir, "vfi1.json"), plan.VFI1); err != nil {
+	defer os.RemoveAll(tmp)
+	if err := platform.SaveProfile(filepath.Join(tmp, "profile.json"), prof); err != nil {
 		return err
 	}
-	if err := platform.SaveVFIConfig(filepath.Join(dir, "vfi2.json"), plan.VFI2); err != nil {
+	if err := platform.SaveVFIConfig(filepath.Join(tmp, "vfi1.json"), plan.VFI1); err != nil {
+		return err
+	}
+	if err := platform.SaveVFIConfig(filepath.Join(tmp, "vfi2.json"), plan.VFI2); err != nil {
 		return err
 	}
 	blob, err := json.Marshal(planMeta{
@@ -218,19 +228,19 @@ func saveDesign(cacheDir string, cfg Config, appName string, prof platform.Profi
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-plan-*")
-	if err != nil {
+	if err := os.WriteFile(filepath.Join(tmp, "plan.json"), blob, 0o644); err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
+	if err := os.Rename(tmp, dir); err != nil {
+		if _, statErr := os.Stat(filepath.Join(dir, "plan.json")); statErr == nil {
+			// A racing writer of the same key won the rename. Its entry was
+			// computed from the same (cfg, app), so the content matches ours
+			// — losing the race is success.
+			return nil
+		}
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, "plan.json"))
+	return nil
 }
 
 // ConfigHash returns the short hex digest identifying cfg — the same
@@ -239,6 +249,19 @@ func saveDesign(cacheDir string, cfg Config, appName string, prof platform.Profi
 // verify they measured the same configuration.
 func ConfigHash(cfg Config) string {
 	key, err := cacheKey(cfg, "")
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// RequestKey returns the short hex digest identifying one (config,
+// benchmark) pair — the exact key that scopes the design cache entry. The
+// serving layer uses it as the singleflight and result-store key, so a
+// request is deduplicated precisely when it would reuse the same cache
+// entry.
+func RequestKey(cfg Config, appName string) string {
+	key, err := cacheKey(cfg, appName)
 	if err != nil {
 		return ""
 	}

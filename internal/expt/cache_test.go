@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -27,6 +29,92 @@ func TestDesignCacheRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(plan, pl.Plan) {
 		t.Errorf("plan changed across the cache round trip:\nsaved:  %+v\nloaded: %+v", pl.Plan, plan)
 	}
+}
+
+// TestConcurrentSaveDesignSameKey races many writers of one cache key —
+// the serving layer's singleflight makes duplicate writes rare but cannot
+// rule them out across processes. Every writer must succeed (losing the
+// rename race is success), the surviving entry must load as a clean hit
+// with the exact artifacts, and no temp directories may leak.
+func TestConcurrentSaveDesignSameKey(t *testing.T) {
+	s := sharedSuite(t)
+	pl, err := s.Pipeline("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const writers = 16
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = saveDesign(dir, s.Config, "mm", pl.Profile, pl.Plan)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("writer %d: %v", i, err)
+		}
+	}
+	prof, plan, outcome := loadDesign(dir, s.Config, "mm")
+	if outcome != cacheHit {
+		t.Fatalf("outcome = %v after %d racing writers, want cacheHit", outcome, writers)
+	}
+	if !reflect.DeepEqual(prof, pl.Profile) || !reflect.DeepEqual(plan, pl.Plan) {
+		t.Error("artifacts damaged by racing writers")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp directory %s leaked", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d cache entries after racing same-key writers, want 1", len(entries))
+	}
+}
+
+// TestSaveDesignNeverExposesPartialEntries: while a writer is mid-save, a
+// concurrent reader sees either nothing (miss) or the complete entry (hit)
+// — never the corrupt classification that a torn multi-file write used to
+// produce.
+func TestSaveDesignNeverExposesPartialEntries(t *testing.T) {
+	s := sharedSuite(t)
+	pl, err := s.Pipeline("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, outcome := loadDesign(dir, s.Config, "mm"); outcome == cacheCorrupt {
+				t.Error("reader observed a partially written entry")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		if err := saveDesign(dir, s.Config, "mm", pl.Profile, pl.Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readerWG.Wait()
 }
 
 func TestCacheKeySensitivity(t *testing.T) {

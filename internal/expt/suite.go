@@ -72,16 +72,53 @@ func (p *Pipeline) BestWiNoC() *sim.RunResult { return p.WiNoC[p.BestStrategy] }
 // regression tests; never set outside tests.
 var buildHook func(name string)
 
+// BuildObserver receives progress callbacks from one pipeline build — the
+// request-shaped entry point the serving layer streams from. Both fields
+// are optional; set callbacks must be safe for concurrent use, since the
+// five system simulations report from pool goroutines.
+type BuildObserver struct {
+	// Stage is called with state "start" and "done" around every pipeline
+	// stage: design-flow, probe-sim, vfi-design and the five sim:* runs.
+	// Stage names match the obs span names, so streamed events and trace
+	// artifacts agree.
+	Stage func(stage, state string)
+	// Cache reports the design-cache classification of the build exactly
+	// once, before any recomputation starts.
+	Cache func(hit bool)
+}
+
+// stage fires the Stage callback on a non-nil observer.
+func (ob *BuildObserver) stage(stage, state string) {
+	if ob != nil && ob.Stage != nil {
+		ob.Stage(stage, state)
+	}
+}
+
+// cache fires the Cache callback on a non-nil observer.
+func (ob *BuildObserver) cache(hit bool) {
+	if ob != nil && ob.Cache != nil {
+		ob.Cache(hit)
+	}
+}
+
 // BuildPipeline runs the full flow for one benchmark, serially and without
 // a disk cache. The Suite path adds coalescing, fan-out and caching.
 func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
-	return buildPipeline(cfg, app, nil, "", nil)
+	return buildPipeline(cfg, app, nil, "", nil, nil)
+}
+
+// BuildPipelineObserved is the serving-layer entry point: one pipeline
+// build for an arbitrary request Config, fanned out over the caller's
+// shared pool, consulting the design cache at cacheDir ("" disables), with
+// per-stage progress delivered through ob (nil for none).
+func BuildPipelineObserved(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, ob *BuildObserver) (*Pipeline, error) {
+	return buildPipeline(cfg, app, pool, cacheDir, nil, ob)
 }
 
 // buildPipeline runs the design flow and then fans the five independent
 // system simulations (baseline, VFI 1 mesh, VFI 2 mesh, two WiNoC
 // placements) out over the pool. A nil pool runs everything inline.
-func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, stats *cacheStats) (*Pipeline, error) {
+func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, stats *cacheStats, ob *BuildObserver) (*Pipeline, error) {
 	if buildHook != nil {
 		buildHook(app.Name)
 	}
@@ -101,9 +138,11 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, s
 	// Steps 1-4 (Fig. 3): characterize on the plain non-VFI system, then
 	// cluster, assign V/F and re-assign for bottlenecks — or reload both
 	// artifacts from the config-keyed disk cache.
+	ob.stage("design-flow", "start")
 	dspan := obs.StartSpanOn(track, "design-flow", app.Name)
-	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir, stats)
+	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir, stats, ob)
 	dspan.End()
+	ob.stage("design-flow", "done")
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +183,8 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, s
 		go func(i int, stage string, dst **sim.RunResult, build func() (*sim.System, error)) {
 			defer wg.Done()
 			pool.DoNamed(stage, app.Name, func() {
+				ob.stage(stage, "start")
+				defer ob.stage(stage, "done")
 				sys, err := build()
 				if err != nil {
 					errs[i] = err
@@ -177,17 +218,21 @@ func buildPipeline(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string, s
 // designFlow produces the profile and VFI plan, consulting the disk cache
 // when cacheDir is non-empty. Cache writes are best-effort: a read-only or
 // full disk degrades to recomputation, never to failure.
-func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cacheDir string, stats *cacheStats) (platform.Profile, vfi.Plan, bool, error) {
+func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cacheDir string, stats *cacheStats, ob *BuildObserver) (platform.Profile, vfi.Plan, bool, error) {
 	if cacheDir != "" {
 		prof, plan, outcome := loadDesign(cacheDir, cfg, app.Name)
 		stats.count(outcome)
 		if outcome == cacheHit {
+			ob.cache(true)
 			return prof, plan, true, nil
 		}
 	}
+	ob.cache(false)
 	var prof platform.Profile
 	var probeErr error
 	pool.DoNamed("probe-sim", app.Name, func() {
+		ob.stage("probe-sim", "start")
+		defer ob.stage("probe-sim", "done")
 		probeSys, err := sim.NVFIMesh(cfg.Build)
 		if err != nil {
 			probeErr = err
@@ -206,6 +251,8 @@ func designFlow(cfg Config, app *apps.App, w *sim.Workload, pool *sim.Pool, cach
 	var plan vfi.Plan
 	var designErr error
 	pool.DoNamed("vfi-design", app.Name, func() {
+		ob.stage("vfi-design", "start")
+		defer ob.stage("vfi-design", "done")
 		plan, designErr = vfi.Design(prof, cfg.VFI)
 	})
 	if designErr != nil {
@@ -301,7 +348,7 @@ func (s *Suite) Pipeline(name string) (*Pipeline, error) {
 			return
 		}
 		start := time.Now() //lint:wallclock times the build for the stderr -v progress line only
-		e.pl, e.err = buildPipeline(s.Config, app, s.pool, s.cacheDir, &s.stats)
+		e.pl, e.err = buildPipeline(s.Config, app, s.pool, s.cacheDir, &s.stats, nil)
 		if obs.Verbose() && e.err == nil {
 			elapsed := time.Since(start) //lint:wallclock elapsed build time goes to stderr progress, never into results
 			obs.Logf("expt: pipeline %-6s built in %6.2fs (from cache: %v)",

@@ -128,7 +128,7 @@ func DefaultConfig(modulePath string) Config {
 			"internal/noc", "internal/mapreduce", "internal/expt",
 			"internal/vfi", "internal/qp", "internal/energy",
 			"internal/topo", "internal/place", "internal/sched",
-			"internal/stats", "internal/fidelity",
+			"internal/stats", "internal/fidelity", "internal/serve",
 		),
 		StdoutAllowed:   []string{modulePath + "/cmd/", modulePath + "/examples/"},
 		NilsafePackages: q("internal/obs", "internal/timeline"),
@@ -141,6 +141,7 @@ func DefaultConfig(modulePath string) Config {
 		MetricFuncs: []string{
 			modulePath + "/internal/obs.NewCounter",
 			modulePath + "/internal/obs.NewGauge",
+			modulePath + "/internal/obs.RegisterHistogram",
 		},
 	}
 }

@@ -12,13 +12,13 @@ import (
 // duplicate name).
 var publishOnce sync.Once
 
-// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/, expvar (including every obs counter and gauge, live)
-// under /debug/vars, and every counter and gauge in Prometheus text
-// format under /metrics. It returns the bound address — pass
-// "localhost:0" for an ephemeral port — and serves until the process
-// exits. This is the -debug-addr flag of the CLIs.
-func ServeDebug(addr string) (string, error) {
+// DebugMux returns a fresh mux with the standard debug surface:
+// net/http/pprof under /debug/pprof/, expvar (including every obs counter
+// and gauge, live) under /debug/vars, and every counter, gauge and
+// registered histogram in Prometheus text format under /metrics.
+// Embedding servers (cmd/wivfid) mount their own routes next to these on
+// the returned mux.
+func DebugMux() *http.ServeMux {
 	publishOnce.Do(func() {
 		expvar.Publish("wivfi_counters", expvar.Func(func() any { return CounterTotals() }))
 		expvar.Publish("wivfi_gauges", expvar.Func(func() any { return GaugeReadings() }))
@@ -31,10 +31,29 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", promHandler)
+	return mux
+}
+
+// StartDebugServer starts an HTTP server on addr exposing DebugMux. It
+// returns the bound address — pass "localhost:0" for an ephemeral port —
+// and the server itself so embedding processes can stop it cleanly
+// (Shutdown for graceful drain, Close for immediate teardown). The serve
+// loop runs on its own goroutine until the server is shut down.
+func StartDebugServer(addr string) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	go http.Serve(ln, mux) //nolint:errcheck // serves for the process lifetime
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown/Close is the normal exit
+	return ln.Addr().String(), srv, nil
+}
+
+// ServeDebug starts a debug server that serves until the process exits —
+// the fire-and-forget form behind the -debug-addr flag of the CLIs. It
+// returns the bound address. Callers that need to stop the server use
+// StartDebugServer instead.
+func ServeDebug(addr string) (string, error) {
+	bound, _, err := StartDebugServer(addr)
+	return bound, err
 }

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wivfi/internal/obs"
+	"wivfi/internal/timeline"
+)
+
+// LoadOptions shapes one generated workload. The schedule is a pure
+// function of the options — same seed, same requests — so load runs are
+// replayable and benchmark numbers are comparable across machines.
+type LoadOptions struct {
+	// Requests is the total number of requests to issue.
+	Requests int
+	// Concurrency is the number of in-flight requests the generator
+	// sustains (default 8).
+	Concurrency int
+	// Seed drives the deterministic schedule.
+	Seed int64
+	// Apps are the benchmarks to draw from (default: just "mm").
+	Apps []string
+	// Variants is the number of distinct config variants per app (default
+	// 1). Variant 0 is the server's default config; higher variants nudge
+	// freq_margin so each owns a distinct cache key, which is how a
+	// schedule mixes result-store hits with cold pipeline executions.
+	Variants int
+	// Stream requests NDJSON event streams instead of plain documents.
+	Stream bool
+}
+
+// variantMargin returns the freq_margin override for variant v > 0. The
+// deltas are far below any physically meaningful margin difference, so
+// every variant designs essentially the same chip while hashing to its
+// own dedup/cache key.
+func variantMargin(v int) float64 { return 0.31 + 0.0005*float64(v) }
+
+// Schedule expands opts into the concrete request sequence. Deterministic:
+// it draws only from a rand.Rand seeded with opts.Seed.
+func Schedule(opts LoadOptions) []Request {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"mm"}
+	}
+	variants := opts.Variants
+	if variants < 1 {
+		variants = 1
+	}
+	stream := ""
+	if opts.Stream {
+		stream = StreamNDJSON
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	reqs := make([]Request, opts.Requests)
+	for i := range reqs {
+		reqs[i] = Request{App: apps[rng.Intn(len(apps))], Stream: stream}
+		if v := rng.Intn(variants); v > 0 {
+			m := variantMargin(v)
+			reqs[i].FreqMargin = &m
+		}
+	}
+	return reqs
+}
+
+// LoadReport summarizes one load run from the client's side.
+type LoadReport struct {
+	Requests int `json:"requests"`
+	// Failures counts transport errors and non-2xx responses.
+	Failures int `json:"failures"`
+	// Statuses tallies responses by HTTP status (0 for transport errors).
+	Statuses map[int]int `json:"statuses"`
+	// ElapsedMS and QPS describe sustained throughput over the whole run.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	QPS       float64 `json:"qps"`
+	// Latency is the client-observed per-request latency distribution
+	// (milliseconds, same log-bucketed histogram the daemon exports).
+	Latency *timeline.HistogramData `json:"latency"`
+}
+
+// RunLoad replays the schedule of opts against a wivfid base URL with
+// bounded concurrency and reports client-side throughput and latency.
+func RunLoad(baseURL string, opts LoadOptions) (*LoadReport, error) {
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 8
+	}
+	schedule := Schedule(opts)
+	hist := timeline.NewHistogram(timeline.Meta{Name: "load.client_latency_ms", IndexUnit: "ms", Unit: "requests"})
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	failures := 0
+
+	client := &http.Client{}
+	jobs := make(chan Request)
+	var wg sync.WaitGroup
+	start := time.Now() //lint:wallclock load-generator throughput measurement, not simulation state
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range jobs {
+				t0 := time.Now() //lint:wallclock client-side latency sample
+				status := issue(client, baseURL, req)
+				hist.Observe(time.Since(t0).Milliseconds()) //lint:wallclock client-side latency sample
+				mu.Lock()
+				statuses[status]++
+				if status < 200 || status > 299 {
+					failures++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, req := range schedule {
+		jobs <- req
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := msSince(start)
+	rep := &LoadReport{
+		Requests:  len(schedule),
+		Failures:  failures,
+		Statuses:  statuses,
+		ElapsedMS: elapsed,
+		Latency:   hist.Data(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(schedule)) / (elapsed / 1000)
+	}
+	return rep, nil
+}
+
+// issue sends one request and fully drains the response (streamed
+// responses arrive as many frames; throughput is only honest if the
+// client consumes them all). Returns the HTTP status, 0 on transport
+// failure.
+func issue(client *http.Client, baseURL string, req Request) int {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Post(baseURL+"/v1/design", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0
+	}
+	return resp.StatusCode
+}
+
+// ---- /metrics scraping -----------------------------------------------------
+
+// Metrics is one scrape of a Prometheus text endpoint, keyed by raw sample
+// name including any {le="..."} label, e.g.
+// "wivfi_serve_requests" or "wivfi_serve_request_latency_ms_bucket{le=\"24\"}".
+type Metrics map[string]float64
+
+// ParseMetrics parses Prometheus text exposition format (the subset the
+// obs exporter emits: unlabeled samples plus histogram le buckets).
+func ParseMetrics(text string) Metrics {
+	m := Metrics{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		m[line[:sp]] = v
+	}
+	return m
+}
+
+// ScrapeMetrics fetches and parses baseURL's /metrics endpoint.
+func ScrapeMetrics(baseURL string) (Metrics, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metrics: status %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMetrics(string(blob)), nil
+}
+
+// Counter returns the sample for a dotted metric name (the declared
+// constants in this package), resolving the exported Prometheus spelling.
+func (m Metrics) Counter(name string) float64 { return m[obs.PromName(name)] }
+
+// CounterDelta returns how much a counter grew between two scrapes.
+func (m Metrics) CounterDelta(before Metrics, name string) float64 {
+	return m.Counter(name) - before.Counter(name)
+}
+
+// LatencyQuantile estimates quantile q of the named histogram over the
+// interval between two scrapes, from the cumulative-bucket differences.
+// Returns the upper bound of the bucket holding the quantile; 0 when the
+// interval observed no samples.
+func LatencyQuantile(before, after Metrics, name string, q float64) float64 {
+	prefix := obs.PromName(name) + `_bucket{le="`
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for key, v := range after {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			x, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = x
+		}
+		buckets = append(buckets, bucket{le: le, cum: v - before[key]})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := after.Counter(name+"_count") - before.Counter(name+"_count")
+	if total <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	for _, b := range buckets {
+		if b.cum >= rank && b.cum > 0 {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+// ---- Saturation benchmark --------------------------------------------------
+
+// SaturationOptions configures the cache-hit saturation benchmark.
+type SaturationOptions struct {
+	// App is the benchmark designed throughout (default "mm").
+	App string
+	// ColdConfigs is the number of distinct config variants executed cold,
+	// each a full design pipeline (default 4).
+	ColdConfigs int
+	// HotRequests is the number of requests replayed over those same
+	// (now-memoized) configs (default 200).
+	HotRequests int
+	// Concurrency bounds the generator's in-flight requests (default 8).
+	Concurrency int
+	// Seed drives the hot phase's deterministic config sampling.
+	Seed int64
+}
+
+// SaturationReport compares the service's cold (full pipeline) and hot
+// (result-store) paths. Server* fields are counter deltas read back from
+// the daemon's own /metrics, so the report and the dashboards agree.
+type SaturationReport struct {
+	App          string  `json:"app"`
+	ColdRequests int     `json:"cold_requests"`
+	ColdQPS      float64 `json:"cold_qps"`
+	HotRequests  int     `json:"hot_requests"`
+	HotQPS       float64 `json:"hot_qps"`
+	// SpeedupX is HotQPS / ColdQPS — the factor the result store buys.
+	SpeedupX float64 `json:"speedup_x"`
+	// HotP50MS / HotP99MS are the daemon-side request latency quantiles
+	// over the hot phase, from /metrics histogram bucket deltas.
+	HotP50MS float64 `json:"hot_p50_ms"`
+	HotP99MS float64 `json:"hot_p99_ms"`
+	// Counter deltas over the whole benchmark.
+	ServerRequests float64 `json:"server_requests"`
+	ResultHits     float64 `json:"result_hits"`
+	DesignHits     float64 `json:"design_hits"`
+	Misses         float64 `json:"misses"`
+	Shared         float64 `json:"shared"`
+}
+
+// RunSaturation measures the service's cold and hot paths against a
+// running wivfid: first it executes ColdConfigs distinct designs (every
+// one a full pipeline), then it replays HotRequests requests across those
+// same configs, which the daemon answers from its result store.
+func RunSaturation(baseURL string, opts SaturationOptions) (*SaturationReport, error) {
+	if opts.App == "" {
+		opts.App = "mm"
+	}
+	if opts.ColdConfigs < 1 {
+		opts.ColdConfigs = 4
+	}
+	if opts.HotRequests < 1 {
+		opts.HotRequests = 200
+	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 8
+	}
+	configs := make([]Request, opts.ColdConfigs)
+	for v := range configs {
+		configs[v] = Request{App: opts.App}
+		if v > 0 {
+			m := variantMargin(v)
+			configs[v].FreqMargin = &m
+		}
+	}
+
+	before, err := ScrapeMetrics(baseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{}
+	coldStart := time.Now() //lint:wallclock benchmark throughput measurement
+	for _, req := range configs {
+		if status := issue(client, baseURL, req); status != http.StatusOK {
+			return nil, fmt.Errorf("cold request for %s: status %d", req.App, status)
+		}
+	}
+	coldMS := msSince(coldStart)
+
+	mid, err := ScrapeMetrics(baseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	jobs := make(chan Request)
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Concurrency)
+	hotStart := time.Now() //lint:wallclock benchmark throughput measurement
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range jobs {
+				if status := issue(client, baseURL, req); status != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("hot request for %s: status %d", req.App, status):
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.HotRequests; i++ {
+		jobs <- configs[rng.Intn(len(configs))]
+	}
+	close(jobs)
+	wg.Wait()
+	hotMS := msSince(hotStart)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	after, err := ScrapeMetrics(baseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SaturationReport{
+		App:          opts.App,
+		ColdRequests: opts.ColdConfigs,
+		HotRequests:  opts.HotRequests,
+		HotP50MS:     LatencyQuantile(mid, after, MetricLatencyMS, 0.50),
+		HotP99MS:     LatencyQuantile(mid, after, MetricLatencyMS, 0.99),
+
+		ServerRequests: after.CounterDelta(before, MetricRequests),
+		ResultHits:     after.CounterDelta(before, MetricResultHits),
+		DesignHits:     after.CounterDelta(before, MetricDesignHits),
+		Misses:         after.CounterDelta(before, MetricCacheMisses),
+		Shared:         after.CounterDelta(before, MetricDedupShared),
+	}
+	if coldMS > 0 {
+		rep.ColdQPS = float64(opts.ColdConfigs) / (coldMS / 1000)
+	}
+	if hotMS > 0 {
+		rep.HotQPS = float64(opts.HotRequests) / (hotMS / 1000)
+	}
+	if rep.ColdQPS > 0 {
+		rep.SpeedupX = rep.HotQPS / rep.ColdQPS
+	}
+	return rep, nil
+}

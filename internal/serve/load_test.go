@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	opts := LoadOptions{Requests: 64, Seed: 42, Apps: []string{"mm", "wc"}, Variants: 4}
+	a := Schedule(opts)
+	b := Schedule(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	opts.Seed = 43
+	c := Schedule(opts)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if len(a) != 64 {
+		t.Errorf("schedule length = %d, want 64", len(a))
+	}
+	variants := map[float64]int{}
+	for _, req := range a {
+		if req.App != "mm" && req.App != "wc" {
+			t.Fatalf("schedule drew app %q outside the requested set", req.App)
+		}
+		if req.FreqMargin != nil {
+			variants[*req.FreqMargin]++
+		}
+	}
+	if len(variants) != 3 {
+		t.Errorf("schedule used %d freq_margin variants, want 3 (variants 1..3)", len(variants))
+	}
+}
+
+func TestParseMetricsAndLatencyQuantile(t *testing.T) {
+	before := ParseMetrics(`# HELP wivfi_serve_request_latency_ms d
+# TYPE wivfi_serve_request_latency_ms histogram
+wivfi_serve_request_latency_ms_bucket{le="1"} 0
+wivfi_serve_request_latency_ms_bucket{le="2"} 0
+wivfi_serve_request_latency_ms_bucket{le="+Inf"} 0
+wivfi_serve_request_latency_ms_sum 0
+wivfi_serve_request_latency_ms_count 0
+wivfi_serve_requests 3
+`)
+	after := ParseMetrics(`wivfi_serve_request_latency_ms_bucket{le="1"} 6
+wivfi_serve_request_latency_ms_bucket{le="2"} 9
+wivfi_serve_request_latency_ms_bucket{le="+Inf"} 10
+wivfi_serve_request_latency_ms_sum 40
+wivfi_serve_request_latency_ms_count 10
+wivfi_serve_requests 13
+`)
+	if got := after.Counter(MetricRequests); got != 13 {
+		t.Errorf("Counter(%q) = %v, want 13", MetricRequests, got)
+	}
+	if got := after.CounterDelta(before, MetricRequests); got != 10 {
+		t.Errorf("CounterDelta = %v, want 10", got)
+	}
+	if got := LatencyQuantile(before, after, MetricLatencyMS, 0.5); got != 1 {
+		t.Errorf("p50 = %v, want 1 (6 of 10 samples in the le=1 bucket)", got)
+	}
+	if got := LatencyQuantile(before, after, MetricLatencyMS, 0.9); got != 2 {
+		t.Errorf("p90 = %v, want 2", got)
+	}
+	if got := LatencyQuantile(before, after, MetricLatencyMS, 1.0); got <= 0 {
+		t.Errorf("p100 = %v, want a positive bucket bound", got)
+	}
+	if got := LatencyQuantile(before, before, MetricLatencyMS, 0.5); got != 0 {
+		t.Errorf("quantile over an empty interval = %v, want 0", got)
+	}
+}
+
+// TestRunLoadAgainstServer drives a small deterministic load through a
+// real server and cross-checks the client report against the daemon's own
+// /metrics counters.
+func TestRunLoadAgainstServer(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	before, err := ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(ts.URL, LoadOptions{Requests: 12, Concurrency: 4, Seed: 7, Apps: []string{"mm"}, Variants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 12 || rep.Failures != 0 {
+		t.Fatalf("report = %d requests, %d failures (statuses %v), want 12 clean", rep.Requests, rep.Failures, rep.Statuses)
+	}
+	if rep.Statuses[200] != 12 {
+		t.Errorf("statuses = %v, want 12x 200", rep.Statuses)
+	}
+	if rep.QPS <= 0 || rep.ElapsedMS <= 0 {
+		t.Errorf("throughput not measured: QPS=%v elapsed=%vms", rep.QPS, rep.ElapsedMS)
+	}
+	if rep.Latency == nil || rep.Latency.Count != 12 {
+		t.Errorf("client latency histogram = %+v, want 12 samples", rep.Latency)
+	}
+	after, err := ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after.CounterDelta(before, MetricRequests); d != 12 {
+		t.Errorf("daemon counted %v requests, want 12", d)
+	}
+	// Two distinct configs → at most 2 cold executions; the other 10
+	// requests were answered by dedup or the result store.
+	cold := after.CounterDelta(before, MetricCacheMisses) + after.CounterDelta(before, MetricDesignHits)
+	cheap := after.CounterDelta(before, MetricResultHits) + after.CounterDelta(before, MetricDedupShared)
+	if cold > 2 {
+		t.Errorf("%v cold executions for 2 distinct configs, want <= 2", cold)
+	}
+	if cold+cheap != 12 {
+		t.Errorf("cold (%v) + cheap (%v) != 12 requests", cold, cheap)
+	}
+}
+
+// TestRunSaturationSmall exercises the saturation benchmark end to end at
+// a toy scale; the real headline numbers come from cmd/wivfiload in CI and
+// EXPERIMENTS.md.
+func TestRunSaturationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several cold pipelines")
+	}
+	_, ts := newTestServer(t, Options{})
+	rep, err := RunSaturation(ts.URL, SaturationOptions{App: "mm", ColdConfigs: 2, HotRequests: 40, Concurrency: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdQPS <= 0 || rep.HotQPS <= 0 {
+		t.Fatalf("report = %+v, want measured cold and hot throughput", rep)
+	}
+	if rep.SpeedupX <= 1 {
+		t.Errorf("hot path speedup = %.1fx, want > 1x (result store must beat cold pipelines)", rep.SpeedupX)
+	}
+	if rep.Misses != 2 {
+		t.Errorf("cold misses = %v, want 2", rep.Misses)
+	}
+	if rep.ResultHits+rep.Shared != 40 {
+		t.Errorf("hot phase hits+shared = %v, want all 40 requests cheap", rep.ResultHits+rep.Shared)
+	}
+	if rep.ServerRequests != 42 {
+		t.Errorf("server saw %v requests, want 42", rep.ServerRequests)
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"wivfi/internal/obs"
+)
+
+// EventSchemaVersion is stamped into every streamed event; bump it when
+// the event document's meaning changes.
+const EventSchemaVersion = 1
+
+// Event names, in the order a successful request emits them. Phase names
+// inside EventPhase match the obs span names of the pipeline
+// (design-flow, probe-sim, vfi-design, sim:*), so a streamed request and
+// a -trace artifact describe the same tree.
+const (
+	// EventAccepted: past validation and admission; carries app and key.
+	EventAccepted = "accepted"
+	// EventDedup: how this request maps onto execution — outcome "leader"
+	// (runs the pipeline), "shared" (attached to a running leader) or
+	// "result-hit" (answered from the result store).
+	EventDedup = "dedup"
+	// EventCache: the leader's design-cache classification — outcome
+	// "design-hit" or "miss".
+	EventCache = "cache"
+	// EventPhase: one pipeline stage changed state ("start"/"done").
+	EventPhase = "phase"
+	// EventResult: the terminal success event; carries the Result and the
+	// per-stage wall-time summaries in the manifest's StageSummary schema.
+	EventResult = "result"
+	// EventError: the terminal failure event.
+	EventError = "error"
+)
+
+// Event is one streamed progress record of a design request. Every event
+// is tagged with the request id and a per-request sequence number;
+// consumers treat unknown fields and event names as forward-compatible
+// extensions.
+type Event struct {
+	Schema    int    `json:"schema"`
+	RequestID string `json:"request_id"`
+	Seq       int64  `json:"seq"`
+	Event     string `json:"event"`
+	App       string `json:"app,omitempty"`
+	Key       string `json:"key,omitempty"`
+	// Phase and State describe EventPhase ("design-flow", "start").
+	Phase string `json:"phase,omitempty"`
+	State string `json:"state,omitempty"`
+	// Outcome classifies EventDedup and EventCache.
+	Outcome string `json:"outcome,omitempty"`
+	// Leader names the executing request on EventDedup outcome "shared".
+	Leader string `json:"leader,omitempty"`
+	// ElapsedMS is the wall time since the request was accepted, stamped
+	// on terminal events.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Stages aggregates the leader's per-stage wall times in the run
+	// manifest's schema, on EventResult.
+	Stages []obs.StageSummary `json:"stages,omitempty"`
+	Result *Result            `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// eventSink writes one event to the client in the negotiated framing.
+type eventSink interface {
+	send(Event) error
+}
+
+// ndjsonSink frames events as newline-delimited JSON, flushing per event
+// so clients observe progress live.
+type ndjsonSink struct {
+	w http.ResponseWriter
+}
+
+func (s ndjsonSink) send(ev Event) error {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// sseSink frames events as Server-Sent Events data frames.
+type sseSink struct {
+	w http.ResponseWriter
+}
+
+func (s sseSink) send(ev Event) error {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", ev.Event, blob); err != nil {
+		return err
+	}
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// emitter stamps request identity and sequence numbers onto events and
+// fans them to the client sink. Safe for concurrent use — pipeline stage
+// callbacks arrive from pool goroutines.
+type emitter struct {
+	id   string
+	sink eventSink
+
+	mu  sync.Mutex
+	seq int64
+	err error // first sink error; once broken, stop writing
+}
+
+// emit sends one event, filling Schema, RequestID and Seq.
+func (e *emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.seq++
+	ev.Schema = EventSchemaVersion
+	ev.RequestID = e.id
+	ev.Seq = e.seq
+	e.err = e.sink.send(ev)
+}
+
+// stageTimes aggregates the per-stage wall times of one request into the
+// manifest's StageSummary schema for the terminal result event.
+type stageTimes struct {
+	mu    sync.Mutex
+	open  map[string]float64 // stage -> start, ms since request accept
+	byNme map[string]*obs.StageSummary
+}
+
+func newStageTimes() *stageTimes {
+	return &stageTimes{open: map[string]float64{}, byNme: map[string]*obs.StageSummary{}}
+}
+
+// observe records one stage transition at nowMS.
+func (st *stageTimes) observe(stage, state string, nowMS float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if state == "start" {
+		st.open[stage] = nowMS
+		return
+	}
+	start, ok := st.open[stage]
+	if !ok {
+		return
+	}
+	delete(st.open, stage)
+	ms := nowMS - start
+	s, ok := st.byNme[stage]
+	if !ok {
+		st.byNme[stage] = &obs.StageSummary{Name: stage, Count: 1, TotalMS: ms, MinMS: ms, MaxMS: ms}
+		return
+	}
+	s.Count++
+	s.TotalMS += ms
+	if ms < s.MinMS {
+		s.MinMS = ms
+	}
+	if ms > s.MaxMS {
+		s.MaxMS = ms
+	}
+}
+
+// summaries returns the aggregated stages sorted by name, the manifest's
+// canonical order.
+func (st *stageTimes) summaries() []obs.StageSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]obs.StageSummary, 0, len(st.byNme))
+	for _, s := range st.byNme {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// collectNDJSON submits a streaming design request and decodes every
+// NDJSON line into an Event.
+func collectNDJSON(t *testing.T, baseURL string, req Request) (*http.Response, []Event) {
+	t.Helper()
+	resp := postDesign(t, baseURL, req)
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("stream line is not an Event: %v\nline: %s", err, line)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, events
+}
+
+func TestNDJSONStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, events := collectNDJSON(t, ts.URL, Request{App: "mm", Stream: StreamNDJSON})
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if len(events) < 4 {
+		t.Fatalf("stream held %d events, want at least accepted/dedup/phases/result", len(events))
+	}
+
+	id := resp.Header.Get("X-Request-ID")
+	for i, ev := range events {
+		if ev.Schema != EventSchemaVersion {
+			t.Errorf("event %d schema = %d, want %d", i, ev.Schema, EventSchemaVersion)
+		}
+		if ev.RequestID != id {
+			t.Errorf("event %d request_id = %q, want header id %q", i, ev.RequestID, id)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+
+	first := events[0]
+	if first.Event != EventAccepted || first.App != "mm" || first.Key == "" {
+		t.Errorf("first event = %+v, want accepted with app and key", first)
+	}
+	kinds := map[string]int{}
+	phases := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Event]++
+		if ev.Event == EventPhase && ev.State == "done" {
+			phases[ev.Phase]++
+		}
+	}
+	if kinds[EventDedup] != 1 {
+		t.Errorf("dedup events = %d, want 1", kinds[EventDedup])
+	}
+	if kinds[EventCache] != 1 {
+		t.Errorf("cache events = %d, want 1", kinds[EventCache])
+	}
+	for _, stage := range []string{
+		"design-flow", "probe-sim", "vfi-design",
+		"sim:nvfi-mesh", "sim:vfi1-mesh", "sim:vfi2-mesh",
+		"sim:winoc-min-hop", "sim:winoc-max-wireless",
+	} {
+		if phases[stage] != 1 {
+			t.Errorf("phase %q completed %d times in the stream, want 1", stage, phases[stage])
+		}
+	}
+
+	last := events[len(events)-1]
+	if last.Event != EventResult {
+		t.Fatalf("terminal event = %q, want result", last.Event)
+	}
+	if last.Result == nil || last.Result.App != "mm" {
+		t.Fatal("result event carries no result document")
+	}
+	if last.ElapsedMS <= 0 {
+		t.Error("result event missing elapsed time")
+	}
+	if len(last.Stages) == 0 {
+		t.Fatal("result event carries no stage summaries")
+	}
+	seen := map[string]bool{}
+	for _, st := range last.Stages {
+		seen[st.Name] = true
+		if st.Count < 1 || st.TotalMS < 0 || st.MaxMS < st.MinMS {
+			t.Errorf("stage summary %+v is inconsistent", st)
+		}
+	}
+	if !seen["design-flow"] || !seen["sim:nvfi-mesh"] {
+		t.Errorf("stage summaries %v missing pipeline stages", last.Stages)
+	}
+
+	// The streamed result must be the same document a plain request gets.
+	plain := postDesign(t, ts.URL, Request{App: "mm"})
+	var plainResult Result
+	if err := json.Unmarshal([]byte(body(t, plain)), &plainResult); err != nil {
+		t.Fatal(err)
+	}
+	streamedJSON, _ := json.Marshal(last.Result)
+	plainJSON, _ := json.Marshal(&plainResult)
+	if string(streamedJSON) != string(plainJSON) {
+		t.Errorf("streamed result differs from the plain document:\nstream: %s\nplain:  %s", streamedJSON, plainJSON)
+	}
+}
+
+// TestNDJSONStreamMemo: a streamed repeat of a memoized config emits
+// accepted, a result-hit dedup event and the result — no phases.
+func TestNDJSONStreamMemo(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	warm := postDesign(t, ts.URL, Request{App: "mm"})
+	body(t, warm)
+
+	_, events := collectNDJSON(t, ts.URL, Request{App: "mm", Stream: StreamNDJSON})
+	if len(events) != 3 {
+		t.Fatalf("memo stream held %d events %v, want accepted/dedup/result", len(events), eventNames(events))
+	}
+	if events[1].Event != EventDedup || events[1].Outcome != "result-hit" {
+		t.Errorf("memo dedup event = %+v, want outcome result-hit", events[1])
+	}
+	if events[2].Event != EventResult || events[2].Outcome != "memo" || events[2].Result == nil {
+		t.Errorf("memo terminal event = %+v, want a memo-classified result", events[2])
+	}
+}
+
+func eventNames(events []Event) []string {
+	names := make([]string, len(events))
+	for i, ev := range events {
+		names[i] = ev.Event
+	}
+	return names
+}
+
+func TestSSEStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postDesign(t, ts.URL, Request{App: "mm", Stream: StreamSSE})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var events []Event
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			names = append(names, strings.TrimPrefix(line, "event: "))
+		case strings.HasPrefix(line, "data: "):
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("SSE data frame is not an Event: %v\nline: %s", err, line)
+			}
+			events = append(events, ev)
+		case line == "":
+		default:
+			t.Errorf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || len(events) != len(names) {
+		t.Fatalf("SSE framing mismatch: %d event lines, %d data frames", len(names), len(events))
+	}
+	for i, ev := range events {
+		if names[i] != ev.Event {
+			t.Errorf("frame %d: event line %q disagrees with payload %q", i, names[i], ev.Event)
+		}
+	}
+	if events[0].Event != EventAccepted {
+		t.Errorf("first SSE event = %q, want accepted", events[0].Event)
+	}
+	if last := events[len(events)-1]; last.Event != EventResult || last.Result == nil {
+		t.Errorf("terminal SSE event = %+v, want a result", last)
+	}
+}
