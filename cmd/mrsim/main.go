@@ -4,8 +4,16 @@
 // Usage:
 //
 //	mrsim -app wc -system vfi-winoc [-strategy max-wireless] [-vfi1]
+//	mrsim -app wc -policy cap [-cap 120] [-decision-log wc.ndjson]
 //	mrsim -app kmeans -real -scale 0.05
 //	mrsim -app wc -real -trace trace.json -manifest manifest.json
+//
+// -policy runs the benchmark's VFI 2 mesh under a closed-loop DVFS
+// governor (static holds the paper plan, util re-decides island V/F from
+// live utilization, cap adds a chip core-power cap set by -cap) and
+// appends the governor's decision summary; -decision-log writes the full
+// per-phase decision log as NDJSON. The log is a pure function of the
+// configuration: byte-identical across -j levels and cache states.
 //
 // -j and -cache mirror the reproduce flags: -j bounds the concurrent
 // simulations of the pipeline build, -cache points at the shared design
@@ -25,6 +33,7 @@ import (
 
 	"wivfi/internal/apps"
 	"wivfi/internal/expt"
+	"wivfi/internal/governor"
 	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 	"wivfi/internal/timeline"
@@ -41,6 +50,9 @@ func main() {
 		workers  = flag.Int("workers", 8, "worker goroutines for -real")
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cache    = flag.String("cache", "auto", `design cache dir ("auto" = user cache dir, "" = disabled)`)
+		policy   = flag.String("policy", "", "run the VFI 2 mesh under a closed-loop DVFS governor: static | util | cap")
+		capWatts = flag.Float64("cap", expt.DefaultGovernorCapW, "chip core-power cap in watts for -policy cap")
+		decLog   = flag.String("decision-log", "", "write the governor decision log (NDJSON) to this file")
 	)
 	cli := obs.NewCLI(flag.CommandLine)
 	tcli := timeline.NewCLI(flag.CommandLine)
@@ -80,6 +92,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *real && *policy != "" {
+		fatal(fmt.Errorf("-policy governs the simulator's VFI 2 mesh; it cannot be combined with -real"))
+	}
 	if *real {
 		obs.Logf("mrsim: running real %s at scale %g with %d workers", app.Name, *scale, *workers)
 		res, err := app.RunReal(*scale, *workers)
@@ -105,6 +120,55 @@ func main() {
 			fatal(err)
 		}
 	}
+	printRun := func(run *sim.RunResult) {
+		fmt.Printf("%s on %s\n", app.Name, run.System)
+		fmt.Printf("  %-8s %-5s %10s %12s %12s %10s\n", "phase", "iter", "seconds", "net-lat(cyc)", "net-energy(J)", "steals")
+		for _, ph := range run.Phases {
+			fmt.Printf("  %-8v %-5d %10.4f %12.1f %12.4f %10d\n",
+				ph.Kind, ph.Iteration, ph.Seconds, ph.NetLatencyCycles, ph.NetJ, ph.Steals)
+		}
+		r := run.Report
+		fmt.Printf("total: %.4f s, %.2f J (core dyn %.2f + leak %.2f + net %.2f), EDP %.3f J.s\n",
+			r.ExecSeconds, r.TotalJ(), r.CoreDynamicJ, r.CoreLeakageJ, r.NetworkJ, r.EDP())
+		e, en, edp := run.Report.Relative(pl.Baseline.Report)
+		fmt.Printf("vs NVFI mesh: exec %.3fx, energy %.3fx, EDP %.3fx\n", e, en, edp)
+	}
+
+	if *policy != "" {
+		pol, err := governor.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		capW := 0.0
+		if pol == governor.Cap {
+			capW = *capWatts
+		}
+		log := governor.NewLog()
+		run, sum, err := expt.GovernedMesh(cfg, pl, pol, capW, log, nil)
+		if err != nil {
+			fatal(err)
+		}
+		printRun(run)
+		fmt.Printf("governor: policy %s, %d decisions, %d transitions, %d sheds, %d violations, max %.1f W measured / %.1f W worst case",
+			sum.Policy, sum.Decisions, sum.Transitions, sum.Sheds, sum.CapViolations, sum.MaxPowerW, sum.WorstCasePowerW)
+		if pol == governor.Cap {
+			fmt.Printf(" (cap %.1f W)", sum.CapW)
+		}
+		fmt.Println()
+		if *decLog != "" {
+			blob, err := log.NDJSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*decLog, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			obs.Logf("mrsim: decision log written to %s", *decLog)
+		}
+		finish(suite)
+		return
+	}
+
 	var run *sim.RunResult
 	switch *system {
 	case "nvfi-mesh":
@@ -130,17 +194,7 @@ func main() {
 		fatal(fmt.Errorf("unknown system %q", *system))
 	}
 
-	fmt.Printf("%s on %s\n", app.Name, run.System)
-	fmt.Printf("  %-8s %-5s %10s %12s %12s %10s\n", "phase", "iter", "seconds", "net-lat(cyc)", "net-energy(J)", "steals")
-	for _, ph := range run.Phases {
-		fmt.Printf("  %-8v %-5d %10.4f %12.1f %12.4f %10d\n",
-			ph.Kind, ph.Iteration, ph.Seconds, ph.NetLatencyCycles, ph.NetJ, ph.Steals)
-	}
-	r := run.Report
-	fmt.Printf("total: %.4f s, %.2f J (core dyn %.2f + leak %.2f + net %.2f), EDP %.3f J.s\n",
-		r.ExecSeconds, r.TotalJ(), r.CoreDynamicJ, r.CoreLeakageJ, r.NetworkJ, r.EDP())
-	e, en, edp := run.Report.Relative(pl.Baseline.Report)
-	fmt.Printf("vs NVFI mesh: exec %.3fx, energy %.3fx, EDP %.3fx\n", e, en, edp)
+	printRun(run)
 	finish(suite)
 }
 

@@ -6,7 +6,7 @@
 //
 //	reproduce [-j N] [-cache dir] [-table1] [-table2] [-fig2] [-fig4]
 //	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
-//	          [-summary]
+//	          [-summary] [-policy static|util|cap] [-cap W]
 //	          [-snapshot out.json] [-baseline ref.json] [-check]
 //	          [-report out.html] [-timeline dir]
 //	          [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
@@ -14,6 +14,12 @@
 // -j bounds the number of concurrent simulations (default GOMAXPROCS);
 // output is byte-identical whatever the value. -cache points at the design
 // cache directory ("auto" = the user cache dir, "" = disabled).
+//
+// -policy enables the closed-loop DVFS governor section, which compares
+// the static paper plan against the utilization governor and the governor
+// under a chip-level core-power cap (set with -cap, watts) across all six
+// benchmarks. The section is opt-in: without -policy, stdout is
+// byte-identical to earlier releases.
 //
 // The fidelity flags drive the results-observability layer: -snapshot
 // serializes every figure and table row into one schema-versioned JSON
@@ -47,6 +53,7 @@ import (
 
 	"wivfi/internal/expt"
 	"wivfi/internal/fidelity"
+	"wivfi/internal/governor"
 	"wivfi/internal/obs"
 	"wivfi/internal/timeline"
 )
@@ -69,6 +76,8 @@ func main() {
 		phased   = flag.Bool("phased", false, "extension: phase-adaptive DVFS controllers")
 		wifail   = flag.Bool("wifail", false, "extension: wireless-interface failure robustness")
 		margins  = flag.Bool("margins", false, "sensitivity: V/F-selection margin sweep")
+		policy   = flag.String("policy", "", "extension: closed-loop DVFS governor section (static, util or cap; the section compares all three)")
+		capWatts = flag.Float64("cap", expt.DefaultGovernorCapW, "chip core-power cap in watts for the governor section's cap column")
 
 		snapshotPath = flag.String("snapshot", "", "write the full metrics snapshot (JSON)")
 		baselinePath = flag.String("baseline", "", "diff the snapshot against this baseline snapshot")
@@ -93,6 +102,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)
 	}
+	if *policy != "" {
+		if _, err := governor.ParsePolicy(*policy); err != nil {
+			fail(err)
+		}
+	}
 	if err := cli.Start("reproduce"); err != nil {
 		fail(err)
 	}
@@ -114,7 +128,7 @@ func main() {
 	// drivers below then render from warm pipelines in a fixed order.
 	var prewarm []string
 	switch {
-	case all || wantFidelity || *table2 || *fig6 || *fig7 || *fig8 || *kintra || *phased || *summary:
+	case all || wantFidelity || *table2 || *fig6 || *fig7 || *fig8 || *kintra || *phased || *summary || *policy != "":
 		prewarm = expt.AppOrder
 	default:
 		seen := map[string]bool{}
@@ -245,6 +259,15 @@ func main() {
 				return "", err
 			}
 			return expt.FormatMargin(rows), nil
+		}},
+		// The governor section is opt-in only (never part of `all`), so a
+		// flagless run's stdout stays byte-identical to earlier releases.
+		{"governor", *policy != "", true, func() (string, error) {
+			rows, err := suite.GovernorStudy(*capWatts)
+			if err != nil {
+				return "", err
+			}
+			return expt.FormatGovernor(rows), nil
 		}},
 		{"summary", all || *summary, false, func() (string, error) {
 			rows, err := suite.Fig8()

@@ -111,13 +111,17 @@ type planMeta struct {
 
 // cacheKey hashes the configuration and benchmark name into the cache
 // entry's directory name. Config is a tree of plain structs, so its JSON
-// form is canonical (struct fields encode in declaration order).
-func cacheKey(cfg Config, appName string) (string, error) {
+// form is canonical (struct fields encode in declaration order). The
+// optional extras salt the key for request dimensions that live outside
+// the design-cache Config (the serving layer's governor knobs); with no
+// extras the JSON blob — and therefore every existing key — is unchanged.
+func cacheKey(cfg Config, appName string, extras ...string) (string, error) {
 	blob, err := json.Marshal(struct {
 		Schema int
 		App    string
 		Config Config
-	}{cacheSchemaVersion, appName, cfg})
+		Extras []string `json:",omitempty"`
+	}{cacheSchemaVersion, appName, cfg, extras})
 	if err != nil {
 		return "", fmt.Errorf("expt: hashing config: %w", err)
 	}
@@ -259,9 +263,13 @@ func ConfigHash(cfg Config) string {
 // benchmark) pair — the exact key that scopes the design cache entry. The
 // serving layer uses it as the singleflight and result-store key, so a
 // request is deduplicated precisely when it would reuse the same cache
-// entry.
-func RequestKey(cfg Config, appName string) string {
-	key, err := cacheKey(cfg, appName)
+// entry. Extras salt the key for request dimensions the design cache does
+// not know about (governor policy and cap): governed and static requests
+// must never collide in the flight map or the result memo even though
+// they share one design-cache entry. No extras reproduces the historical
+// key exactly.
+func RequestKey(cfg Config, appName string, extras ...string) string {
+	key, err := cacheKey(cfg, appName, extras...)
 	if err != nil {
 		return ""
 	}

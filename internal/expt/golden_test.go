@@ -147,4 +147,10 @@ func TestGoldenStudies(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "margins", FormatMargin(mg))
+
+	gov, err := s.GovernorStudy(DefaultGovernorCapW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "governor", FormatGovernor(gov))
 }

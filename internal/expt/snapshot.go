@@ -85,6 +85,7 @@ func CollectSnapshot(s *Suite) (*fidelity.Snapshot, error) {
 		s.collectKIntra,
 		collectStealing,
 		s.collectPhased,
+		s.collectGovernor,
 		s.collectWIFail,
 		s.collectMargins,
 		s.collectSummary,
@@ -311,6 +312,37 @@ func (s *Suite) collectPhased() (fidelity.Section, error) {
 				"exec_mean":    r.ExecMean,
 				"exec_maxcore": r.ExecMaxCore,
 				"transitions":  float64(r.Transitions),
+			},
+		})
+	}
+	return sec, nil
+}
+
+func (s *Suite) collectGovernor() (fidelity.Section, error) {
+	sec := fidelity.Section{ID: "governor", Title: "Extension: closed-loop DVFS governor"}
+	rows, err := s.GovernorStudy(DefaultGovernorCapW)
+	if err != nil {
+		return sec, err
+	}
+	for _, r := range rows {
+		sec.Rows = append(sec.Rows, fidelity.Row{
+			Key: r.App,
+			Values: map[string]float64{
+				"edp_static":         r.StaticEDP,
+				"edp_util":           r.UtilEDP,
+				"edp_cap":            r.CapEDP,
+				"exec_static":        r.ExecStatic,
+				"exec_util":          r.ExecUtil,
+				"exec_cap":           r.ExecCap,
+				"transitions_util":   float64(r.UtilTransitions),
+				"transitions_cap":    float64(r.CapTransitions),
+				"sheds":              float64(r.Sheds),
+				"violations":         float64(r.Violations),
+				"max_power_static_w": r.MaxPowerStaticW,
+				"max_power_util_w":   r.MaxPowerUtilW,
+				"max_power_cap_w":    r.MaxPowerCapW,
+				"worst_case_cap_w":   r.WorstCaseCapW,
+				"cap_w":              r.CapW,
 			},
 		})
 	}

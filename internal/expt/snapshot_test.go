@@ -72,6 +72,7 @@ func TestSnapshotCoverage(t *testing.T) {
 		"phased":   len(AppOrder),
 		"wifail":   len(DefaultWIFailures),
 		"margins":  len(DefaultMargins),
+		"governor": len(AppOrder),
 		"summary":  1,
 	}
 	if len(snap.Sections) != len(wantRows) {

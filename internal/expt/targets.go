@@ -204,5 +204,31 @@ func PaperChecks() []fidelity.Check {
 		Kind:    fidelity.AtMost, Want: 1.10, WarnTol: 0.10,
 	})
 
+	// Closed-loop governor invariants. The cap checks are hard (PassTol 0,
+	// no warn band): the admission rule proves measured power can never
+	// exceed the admitted worst-case bound, and the bound never exceeds
+	// the cap, so any excursion at all means the governor broke.
+	for _, app := range AppOrder {
+		add(fidelity.Check{
+			ID:      "governor." + app + ".cap_respected",
+			Detail:  fmt.Sprintf("capped governor's measured core power stays under %.0f W", DefaultGovernorCapW),
+			Section: "governor", Row: app, Value: "max_power_cap_w",
+			Kind: fidelity.AtMost, Want: DefaultGovernorCapW,
+		})
+		add(fidelity.Check{
+			ID:      "governor." + app + ".no_violations",
+			Detail:  "capped governor admitted every decision under the cap",
+			Section: "governor", Row: app, Value: "violations",
+			Kind: fidelity.AtMost, Want: 0,
+		})
+		add(fidelity.Check{
+			ID:      "governor." + app + ".util_beats_static",
+			Detail:  "utilization governor's EDP at or below the static plan's",
+			Section: "governor", Row: app, Value: "edp_util",
+			Kind: fidelity.LessThanMetric, OtherValue: "edp_static",
+			PassTol: 0.01, WarnTol: 0.05,
+		})
+	}
+
 	return checks
 }

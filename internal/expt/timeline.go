@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"wivfi/internal/governor"
 	"wivfi/internal/noc"
 	"wivfi/internal/place"
 	"wivfi/internal/sim"
@@ -55,6 +56,11 @@ func (s *Suite) CollectTimelines(col *timeline.Collector, names ...string) error
 			return err
 		}
 		col.AddSeries(pipelineTimelines(pl)...)
+		gs, err := governorTimelines(s.Config, pl)
+		if err != nil {
+			return fmt.Errorf("expt: %s governor timelines: %w", name, err)
+		}
+		col.AddSeries(gs...)
 		if name == TimelineDESApp {
 			series, err := desReplayTimelines(s.Config, pl)
 			if err != nil {
@@ -169,17 +175,29 @@ func islandUtilSeries(pl *Pipeline) []timeline.Series {
 	window := windowFor(total)
 	bins := int(total/window) + 1
 	islands := pl.Plan.VFI2.Islands()
+	// One shared pass over the per-phase worker strips, aggregating busy
+	// seconds per island up front: the per-island loop below then only
+	// spreads scalars, so collection cost no longer rescans every phase's
+	// BusySec once per island. Cores within an island are summed in
+	// ascending id order exactly as the per-island scan did (Islands()
+	// lists cores ascending), so the float additions — and the output
+	// bytes — are unchanged.
+	assign := pl.Plan.VFI2.Assign
+	busy := make([][]float64, len(res.Phases))
+	for i, ph := range res.Phases {
+		b := make([]float64, len(islands))
+		for c, sec := range ph.BusySec {
+			if c < len(assign) {
+				b[assign[c]] += sec
+			}
+		}
+		busy[i] = b
+	}
 	out := make([]timeline.Series, 0, len(islands))
 	for isl, cores := range islands {
 		vals := make([]float64, bins)
-		for i, ph := range res.Phases {
-			var busy float64
-			for _, c := range cores {
-				if c < len(ph.BusySec) {
-					busy += ph.BusySec[c]
-				}
-			}
-			spread(vals, window, spans[i][0], spans[i][1], busy)
+		for i := range res.Phases {
+			spread(vals, window, spans[i][0], spans[i][1], busy[i][isl])
 		}
 		// busy seconds per window -> utilization of the island's cores.
 		denom := float64(len(cores)) * float64(window) / 1e9
@@ -257,6 +275,55 @@ func energySeries(app, label string, res *sim.RunResult) timeline.Series {
 		Window: window,
 		Values: vals,
 	}
+}
+
+// governorTimelines derives the closed-loop governor's observability
+// series for one benchmark: per-island decision state tracks of the
+// utilization governor (each island's operating point across phase
+// boundaries, consecutive holds deduplicated) and the capped governor's
+// per-phase power headroom — the gap between the default chip cap and the
+// worst-case core power of the configuration each decision admitted.
+// Like every other series here the derivation is post hoc and pure, so
+// the artifacts stay byte-identical across -j levels and cache states.
+func governorTimelines(cfg Config, pl *Pipeline) ([]timeline.Series, error) {
+	utilLog := governor.NewLog()
+	if _, _, err := GovernedMesh(cfg, pl, governor.Util, 0, utilLog, nil); err != nil {
+		return nil, err
+	}
+	m := pl.Plan.VFI2.NumIslands()
+	tracks := make([]*timeline.Track, m)
+	for isl := 0; isl < m; isl++ {
+		tracks[isl] = timeline.NewTrack(timeline.Meta{
+			Name:      fmt.Sprintf("expt/%s/governor/island/%d/vf", pl.App.Name, isl),
+			IndexUnit: "phase",
+			Unit:      "V/GHz",
+		})
+	}
+	for _, d := range utilLog.Decisions() {
+		for _, id := range d.Islands {
+			tracks[id.Island].Set(int64(d.Phase), id.To)
+		}
+	}
+	out := make([]timeline.Series, 0, m+1)
+	for _, tr := range tracks {
+		out = append(out, tr.Series())
+	}
+	capLog := governor.NewLog()
+	if _, _, err := GovernedMesh(cfg, pl, governor.Cap, DefaultGovernorCapW, capLog, nil); err != nil {
+		return nil, err
+	}
+	headroom := make([]float64, capLog.Len())
+	for i, d := range capLog.Decisions() {
+		headroom[i] = d.HeadroomW
+	}
+	out = append(out, timeline.Series{
+		Meta:   timeline.Meta{Name: fmt.Sprintf("expt/%s/governor/headroom", pl.App.Name), IndexUnit: "phase", Unit: "W"},
+		Kind:   timeline.KindSampler,
+		Agg:    timeline.Mean.String(),
+		Window: 1,
+		Values: headroom,
+	})
+	return out, nil
 }
 
 // desReplayTimelines rebuilds the benchmark's best WiNoC system and runs

@@ -3,6 +3,7 @@ package expt
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -151,5 +152,78 @@ func TestSpread(t *testing.T) {
 	spread(vals, 10, 35, 35, 3.0)
 	if vals[3] != 3.0 {
 		t.Fatalf("zero-width spread: %v", vals)
+	}
+}
+
+// islandUtilSeriesRescan is the pre-hoist derivation of islandUtilSeries:
+// one full pass over every phase's BusySec strip per island. It is kept
+// verbatim as the reference for the byte-identity lock below — the hoisted
+// implementation shares one aggregation pass across islands and must not
+// change a single output byte.
+func islandUtilSeriesRescan(pl *Pipeline) []timeline.Series {
+	res := pl.BestWiNoC()
+	spans, total := phaseSpans(res)
+	window := windowFor(total)
+	bins := int(total/window) + 1
+	islands := pl.Plan.VFI2.Islands()
+	out := make([]timeline.Series, 0, len(islands))
+	for isl, cores := range islands {
+		vals := make([]float64, bins)
+		for i, ph := range res.Phases {
+			var islandBusy float64
+			for _, c := range cores {
+				if c < len(ph.BusySec) {
+					islandBusy += ph.BusySec[c]
+				}
+			}
+			spread(vals, window, spans[i][0], spans[i][1], islandBusy)
+		}
+		denom := float64(len(cores)) * float64(window) / 1e9
+		for b := range vals {
+			if denom > 0 {
+				vals[b] /= denom
+			}
+			if vals[b] > 1 {
+				vals[b] = 1
+			}
+		}
+		out = append(out, timeline.Series{
+			Meta:   timeline.Meta{Name: "expt/" + pl.App.Name + "/island/" + itoa(isl) + "/util", IndexUnit: "vns", Unit: "util"},
+			Kind:   timeline.KindSampler,
+			Agg:    timeline.Mean.String(),
+			Window: window,
+			Values: vals,
+		})
+	}
+	return out
+}
+
+func itoa(i int) string {
+	return strconv.Itoa(i)
+}
+
+// TestIslandUtilSeriesMatchesRescan locks the hoisted island-utilization
+// derivation to the original per-island rescan, byte for byte, across all
+// six benchmarks.
+func TestIslandUtilSeriesMatchesRescan(t *testing.T) {
+	s := sharedSuite(t)
+	for _, name := range AppOrder {
+		pl, err := s.Pipeline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hoisted := islandUtilSeries(pl)
+		reference := islandUtilSeriesRescan(pl)
+		got, err := json.Marshal(hoisted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(reference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: hoisted island-util series differ from the rescan reference", name)
+		}
 	}
 }

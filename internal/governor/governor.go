@@ -1,0 +1,401 @@
+// Package governor is the closed-loop DVFS control plane: a
+// sim.Controller that consumes the per-island utilization and queue-depth
+// signals a governed run produces at every phase boundary and re-assigns
+// island operating points online, under three policies — the paper's
+// static plan held fixed (the baseline), a utilization-threshold governor
+// applying the paper's margin-quantize rule to live observations, and the
+// same governor under a chip-level core-power cap with priority shedding.
+//
+// Every decision is observable (a deterministic decision log, live
+// decision callbacks for the serving layer, process-wide obs counters and
+// a cap-violation gauge) and deterministic: decisions are pure functions
+// of the observations, which are themselves pure functions of the
+// configuration, so the decision log is byte-identical across -j levels,
+// cache states and telemetry settings.
+//
+// Cap semantics: the cap bounds worst-case core-rail power — every core of
+// every island busy at its island's operating point, plus leakage (the
+// NoC is excluded; it is not behind the island rails). Because measured
+// core power is monotone in utilization and utilization is at most 1, a
+// configuration admitted under the worst-case bound can never exceed the
+// cap in measurement, whatever the workload does next phase.
+package governor
+
+import (
+	"fmt"
+
+	"wivfi/internal/energy"
+	"wivfi/internal/platform"
+	"wivfi/internal/sim"
+)
+
+// Policy selects the governor's decision rule.
+type Policy int
+
+const (
+	// Static holds the paper's offline plan for every phase — the
+	// baseline the two closed-loop policies are compared against.
+	Static Policy = iota
+	// Util re-derives each island's operating point at every phase
+	// boundary from an EWMA of its observed utilization, using the same
+	// margin-quantize rule as the static design flow, with a queue-backlog
+	// boost for saturated islands.
+	Util
+	// Cap is Util with a chip-level core-power cap: when the utilization
+	// targets would exceed the cap's worst-case bound, islands shed one
+	// ladder step at a time — lowest observed utilization first, islands
+	// raised for bottleneck cores last.
+	Cap
+)
+
+// String names the policy as spelled on -policy flags and request fields.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Util:
+		return "util"
+	case Cap:
+		return "cap"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// PolicyNames lists the accepted policy spellings.
+func PolicyNames() []string { return []string{"static", "util", "cap"} }
+
+// ParsePolicy resolves a -policy flag or request field value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "util":
+		return Util, nil
+	case "cap":
+		return Cap, nil
+	}
+	return Static, fmt.Errorf("governor: unknown policy %q (one of %v)", s, PolicyNames())
+}
+
+// Config parameterizes one Governor.
+type Config struct {
+	// Policy selects the decision rule.
+	Policy Policy
+	// Plan is the offline design (the paper's VFI 2 configuration): the
+	// island partition every decision preserves, the Static policy's fixed
+	// assignment, and the closed-loop policies' phase-0 starting point.
+	Plan platform.VFIConfig
+	// Table is the DVFS ladder decisions quantize onto.
+	Table []platform.OperatingPoint
+	// Margin is the utilization headroom added before quantizing, the
+	// same knob as the static flow's FreqMargin (paper: 0.35).
+	Margin float64
+	// Alpha is the EWMA smoothing weight on new utilization observations,
+	// in (0, 1]; 0 selects DefaultAlpha.
+	Alpha float64
+	// QueueBoost is the Map-phase backlog (initial tasks per worker) at or
+	// above which a saturated island is boosted straight to the ladder
+	// maximum; 0 selects DefaultQueueBoost.
+	QueueBoost float64
+	// CapW is the chip-level core-power cap in watts (Cap policy only).
+	CapW float64
+	// Protected lists islands shed last under the cap — the design flow's
+	// bottleneck-raised islands, whose cores gate the critical path.
+	Protected []int
+	// Core prices operating points; must match the simulated platform.
+	Core energy.CoreModel
+}
+
+// DefaultAlpha is the EWMA smoothing weight: equal parts history and the
+// newest phase, enough memory to ride out one-phase spikes while still
+// tracking the Map/Reduce utilization swing.
+const DefaultAlpha = 0.5
+
+// DefaultQueueBoost is the backlog threshold (initial tasks per worker of
+// a Map phase) that marks an island saturated enough to boost.
+const DefaultQueueBoost = 4.0
+
+// saturatedUtil is the observed utilization above which a deep queue
+// triggers the boost-to-maximum rule.
+const saturatedUtil = 0.9
+
+// Decision reason codes, stamped per island on every decision log entry.
+const (
+	ReasonPlan  = "plan"        // phase 0: start from the offline plan
+	ReasonHold  = "hold"        // point unchanged
+	ReasonUp    = "up:util"     // utilization rule raised the point
+	ReasonDown  = "down:util"   // utilization rule lowered the point
+	ReasonBoost = "boost:queue" // saturated island with deep backlog -> ladder max
+	ReasonShed  = "shed:cap"    // cap shedding lowered the point
+)
+
+// Governor is one closed-loop DVFS controller instance. It implements
+// sim.Controller; use one instance per governed run (it carries per-run
+// EWMA and summary state). Not safe for concurrent use.
+type Governor struct {
+	cfg        Config
+	islandSize []float64
+	ewma       []float64
+	seeded     bool
+	current    []platform.OperatingPoint
+	log        *Log
+	onDecision func(Decision)
+	measured   []float64
+	sum        Summary
+}
+
+// New builds a governor for one governed run. The zero-value knobs of cfg
+// (Alpha, QueueBoost) take their defaults.
+func New(cfg Config) *Governor {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.QueueBoost <= 0 {
+		cfg.QueueBoost = DefaultQueueBoost
+	}
+	m := cfg.Plan.NumIslands()
+	g := &Governor{
+		cfg:        cfg,
+		islandSize: make([]float64, m),
+		ewma:       make([]float64, m),
+		current:    make([]platform.OperatingPoint, m),
+	}
+	for _, isl := range cfg.Plan.Assign {
+		g.islandSize[isl]++
+	}
+	copy(g.current, cfg.Plan.Points)
+	g.sum.Policy = cfg.Policy.String()
+	if cfg.Policy == Cap {
+		g.sum.CapW = cfg.CapW
+	}
+	return g
+}
+
+// SetLog attaches a decision log; a nil log (the default) records nothing.
+func (g *Governor) SetLog(l *Log) { g.log = l }
+
+// OnDecision attaches a live decision callback (the serving layer streams
+// these as events); nil disables it.
+func (g *Governor) OnDecision(fn func(Decision)) { g.onDecision = fn }
+
+// Summary returns the run's aggregate decision statistics; complete after
+// sim.RunGoverned returns (Finish folds in the last phase's measurement).
+func (g *Governor) Summary() Summary { return g.sum }
+
+// MeasuredPowerW returns the per-phase measured core power observed so
+// far, in phase order — the cap-headroom series is derived from it.
+func (g *Governor) MeasuredPowerW() []float64 { return g.measured }
+
+// Decide implements sim.Controller: fold the completed phase's observation
+// into the EWMA state, then choose the next phase's operating points under
+// the configured policy.
+func (g *Governor) Decide(prev *sim.PhaseObservation, index int, kind sim.PhaseKind) platform.VFIConfig {
+	g.observe(prev)
+	m := len(g.current)
+	d := Decision{
+		Phase:   index,
+		Kind:    kind.String(),
+		Policy:  g.cfg.Policy.String(),
+		Islands: make([]IslandDecision, m),
+	}
+	next := make([]platform.OperatingPoint, m)
+	switch {
+	case g.cfg.Policy == Static:
+		copy(next, g.cfg.Plan.Points)
+		for isl := range d.Islands {
+			d.Islands[isl] = IslandDecision{
+				Island: isl, From: g.current[isl].String(), To: next[isl].String(),
+				Reason: ReasonHold, Util: g.ewma[isl],
+			}
+		}
+	case prev == nil:
+		// First boundary: nothing observed yet, start from the plan.
+		copy(next, g.cfg.Plan.Points)
+		for isl := range d.Islands {
+			d.Islands[isl] = IslandDecision{
+				Island: isl, From: g.current[isl].String(), To: next[isl].String(),
+				Reason: ReasonPlan, Util: g.ewma[isl],
+			}
+		}
+	default:
+		fmax := platform.MaxPoint(g.cfg.Table).FreqGHz
+		for isl := range next {
+			target := g.ewma[isl] + g.cfg.Margin
+			if target > 1 {
+				target = 1
+			}
+			op := platform.QuantizeUp(g.cfg.Table, fmax*target)
+			reason := ReasonHold
+			queue := prev.QueueDepth[isl]
+			if queue >= g.cfg.QueueBoost && prev.IslandUtil[isl] >= saturatedUtil {
+				op = platform.MaxPoint(g.cfg.Table)
+				reason = ReasonBoost
+			}
+			if reason != ReasonBoost {
+				switch {
+				case op.FreqGHz > g.current[isl].FreqGHz:
+					reason = ReasonUp
+				case op.FreqGHz < g.current[isl].FreqGHz:
+					reason = ReasonDown
+				}
+			}
+			next[isl] = op
+			d.Islands[isl] = IslandDecision{
+				Island: isl, From: g.current[isl].String(), To: op.String(),
+				Reason: reason, Util: g.ewma[isl], Queue: queue,
+			}
+		}
+	}
+	// The cap binds every decision, including the phase-0 start from the
+	// plan: an uncapped first phase could exceed the cap before the first
+	// observation arrives.
+	if g.cfg.Policy == Cap {
+		g.shed(next, &d)
+	}
+	d.PredPowerW = g.worstCasePowerW(next)
+	if g.cfg.Policy == Cap {
+		d.CapW = g.cfg.CapW
+		d.HeadroomW = g.cfg.CapW - d.PredPowerW
+	}
+	changed := 0
+	for isl := range next {
+		if next[isl] != g.current[isl] {
+			changed++
+		}
+	}
+	if index > 0 {
+		d.Changed = changed
+		g.sum.Transitions += changed
+		transitionCounter.Add(int64(changed))
+	}
+	if d.PredPowerW > g.sum.WorstCasePowerW {
+		g.sum.WorstCasePowerW = d.PredPowerW
+	}
+	g.sum.Decisions++
+	decisionCounter.Add(1)
+	copy(g.current, next)
+	g.log.Record(d)
+	if g.onDecision != nil {
+		g.onDecision(d)
+	}
+	points := make([]platform.OperatingPoint, m)
+	copy(points, next)
+	return platform.VFIConfig{Assign: g.cfg.Plan.Assign, Points: points}
+}
+
+// Finish implements sim.Controller: fold in the final phase's observation,
+// which no Decide call sees.
+func (g *Governor) Finish(last *sim.PhaseObservation) {
+	g.observe(last)
+}
+
+// observe folds one completed phase's signals into the governor state.
+func (g *Governor) observe(o *sim.PhaseObservation) {
+	if o == nil {
+		return
+	}
+	if !g.seeded {
+		copy(g.ewma, o.IslandUtil)
+		g.seeded = true
+	} else {
+		for isl, u := range o.IslandUtil {
+			g.ewma[isl] = g.cfg.Alpha*u + (1-g.cfg.Alpha)*g.ewma[isl]
+		}
+	}
+	g.measured = append(g.measured, o.CorePowerW)
+	if o.CorePowerW > g.sum.MaxPowerW {
+		g.sum.MaxPowerW = o.CorePowerW
+	}
+}
+
+// worstCasePowerW upper-bounds the chip's core-rail power under points:
+// every core busy (utilization 1) at its island's operating point. Core
+// power is monotone in utilization, so measured power never exceeds it.
+func (g *Governor) worstCasePowerW(points []platform.OperatingPoint) float64 {
+	var p float64
+	for isl, op := range points {
+		p += g.islandSize[isl] * g.cfg.Core.PowerW(op, 1)
+	}
+	return p
+}
+
+// shed lowers islands one ladder step at a time until the worst-case bound
+// fits under the cap. Victim priority: unprotected islands before
+// bottleneck-raised ones, lowest EWMA utilization first, lowest island
+// index on ties — so idle islands absorb the cap before critical-path
+// islands are touched. Runs out of victims only when every island sits at
+// the ladder minimum; if the cap is still exceeded there, the decision is
+// recorded as a violation (the platform floor exceeds the cap).
+func (g *Governor) shed(points []platform.OperatingPoint, d *Decision) {
+	protected := make([]bool, len(points))
+	for _, isl := range g.cfg.Protected {
+		if isl >= 0 && isl < len(protected) {
+			protected[isl] = true
+		}
+	}
+	for g.worstCasePowerW(points) > g.cfg.CapW {
+		victim := -1
+		for pass := 0; pass < 2 && victim < 0; pass++ {
+			// pass 0 considers only unprotected islands; pass 1 admits all.
+			for isl := range points {
+				if pass == 0 && protected[isl] {
+					continue
+				}
+				if _, ok := stepDown(g.cfg.Table, points[isl]); !ok {
+					continue
+				}
+				if victim < 0 || g.ewma[isl] < g.ewma[victim] {
+					victim = isl
+				}
+			}
+		}
+		if victim < 0 {
+			d.Violation = true
+			g.sum.CapViolations++
+			capViolationGauge.Add(1)
+			return
+		}
+		down, _ := stepDown(g.cfg.Table, points[victim])
+		points[victim] = down
+		d.Sheds++
+		g.sum.Sheds++
+		shedCounter.Add(1)
+		id := &d.Islands[victim]
+		id.To = down.String()
+		id.Reason = ReasonShed
+	}
+}
+
+// stepDown returns the highest table point strictly below op's frequency,
+// or ok=false when op already sits at the ladder minimum.
+func stepDown(table []platform.OperatingPoint, op platform.OperatingPoint) (platform.OperatingPoint, bool) {
+	var best platform.OperatingPoint
+	ok := false
+	for _, p := range table {
+		if p.FreqGHz < op.FreqGHz && (!ok || p.FreqGHz > best.FreqGHz) {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// Summary aggregates one governed run's decision statistics.
+type Summary struct {
+	// Policy and CapW echo the configuration.
+	Policy string  `json:"policy"`
+	CapW   float64 `json:"cap_w,omitempty"`
+	// Decisions counts phase boundaries decided; Transitions counts
+	// island point changes actually actuated (phase 0 start excluded).
+	Decisions   int `json:"decisions"`
+	Transitions int `json:"transitions"`
+	// Sheds counts cap-shedding ladder steps; CapViolations counts
+	// decisions where even the ladder floor exceeded the cap.
+	Sheds         int `json:"sheds,omitempty"`
+	CapViolations int `json:"cap_violations,omitempty"`
+	// MaxPowerW is the maximum measured per-phase core power;
+	// WorstCasePowerW the maximum worst-case bound of any admitted
+	// configuration. Under Cap, WorstCasePowerW <= CapW unless
+	// CapViolations > 0, and MaxPowerW <= WorstCasePowerW always.
+	MaxPowerW       float64 `json:"max_power_w"`
+	WorstCasePowerW float64 `json:"worst_case_power_w"`
+}

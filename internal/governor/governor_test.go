@@ -1,0 +1,165 @@
+package governor
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"wivfi/internal/energy"
+	"wivfi/internal/platform"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParsePolicy(%q).String() = %q", name, p.String())
+		}
+	}
+	if _, err := ParsePolicy("turbo"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestStepDown(t *testing.T) {
+	table := platform.DefaultDVFSTable()
+	if _, ok := stepDown(table, table[0]); ok {
+		t.Error("stepDown below the ladder minimum")
+	}
+	for i := 1; i < len(table); i++ {
+		down, ok := stepDown(table, table[i])
+		if !ok || down != table[i-1] {
+			t.Errorf("stepDown(%v) = %v, %v; want %v", table[i], down, ok, table[i-1])
+		}
+	}
+}
+
+// twoIslandGovernor builds a Cap governor over two 2-core islands at the
+// ladder maximum, with island 1 protected.
+func twoIslandGovernor(capW float64) *Governor {
+	table := platform.DefaultDVFSTable()
+	top := platform.MaxPoint(table)
+	return New(Config{
+		Policy: Cap,
+		Plan: platform.VFIConfig{
+			Assign: []int{0, 0, 1, 1},
+			Points: []platform.OperatingPoint{top, top},
+		},
+		Table:     table,
+		Margin:    0.35,
+		CapW:      capW,
+		Protected: []int{1},
+		Core:      energy.DefaultCoreModel(),
+	})
+}
+
+// TestShedPrefersUnprotectedLowUtilization: under a cap that forces
+// shedding, the unprotected island must give up ladder steps before the
+// protected one, even when the protected island is the idler.
+func TestShedPrefersUnprotectedLowUtilization(t *testing.T) {
+	core := energy.DefaultCoreModel()
+	table := platform.DefaultDVFSTable()
+	top := platform.MaxPoint(table)
+	// Cap at: protected island at max + unprotected at min, plus slack.
+	min := table[0]
+	capW := 2*core.PowerW(top, 1) + 2*core.PowerW(min, 1) + 0.01
+	g := twoIslandGovernor(capW)
+	log := NewLog()
+	g.SetLog(log)
+
+	cfg := g.Decide(nil, 0, 0)
+	if got := cfg.Points[1]; got != top {
+		t.Errorf("protected island shed to %v with unprotected steps available", got)
+	}
+	if got := cfg.Points[0]; got != min {
+		t.Errorf("unprotected island at %v, want ladder minimum %v", got, min)
+	}
+	d := log.Decisions()[0]
+	if d.Violation {
+		t.Error("feasible cap recorded as a violation")
+	}
+	if d.Islands[0].Reason != ReasonShed {
+		t.Errorf("island 0 reason %q, want %q", d.Islands[0].Reason, ReasonShed)
+	}
+	if d.PredPowerW > capW {
+		t.Errorf("admitted worst case %.3f W over cap %.3f W", d.PredPowerW, capW)
+	}
+}
+
+// TestShedTakesProtectedWhenUnprotectedExhausted: once the unprotected
+// island hits the ladder floor, pass 2 sheds the protected island rather
+// than violating the cap.
+func TestShedTakesProtectedWhenUnprotectedExhausted(t *testing.T) {
+	core := energy.DefaultCoreModel()
+	table := platform.DefaultDVFSTable()
+	min := table[0]
+	// Cap only admits both islands at the floor.
+	capW := 4*core.PowerW(min, 1) + 0.01
+	g := twoIslandGovernor(capW)
+	cfg := g.Decide(nil, 0, 0)
+	for isl, op := range cfg.Points {
+		if op != min {
+			t.Errorf("island %d at %v, want floor %v", isl, op, min)
+		}
+	}
+	if g.Summary().CapViolations != 0 {
+		t.Error("feasible cap counted as violation")
+	}
+}
+
+// TestInfeasibleCapIsAViolation: a cap below the platform floor cannot be
+// met; the decision must be flagged, not silently admitted.
+func TestInfeasibleCapIsAViolation(t *testing.T) {
+	g := twoIslandGovernor(1.0) // 1 W: below any 4-core configuration
+	log := NewLog()
+	g.SetLog(log)
+	g.Decide(nil, 0, 0)
+	if g.Summary().CapViolations != 1 {
+		t.Errorf("CapViolations = %d, want 1", g.Summary().CapViolations)
+	}
+	if !log.Decisions()[0].Violation {
+		t.Error("decision not flagged as violation")
+	}
+}
+
+func TestLogNDJSONOneObjectPerLine(t *testing.T) {
+	log := NewLog()
+	log.Record(Decision{Phase: 0, Policy: "util"})
+	log.Record(Decision{Phase: 1, Policy: "util", Changed: 2})
+	blob, err := log.NDJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(blob, "\n"), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}
+
+// TestNilLogZeroAlloc is the disabled-governor-path allocation gate
+// backing the nilsafe contract: recording into a nil *Log (what every
+// ungoverned run does implicitly) must be free.
+func TestNilLogZeroAlloc(t *testing.T) {
+	var l *Log
+	d := Decision{Phase: 3, Policy: "util"}
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Record(d)
+		_ = l.Len()
+		_ = l.Decisions()
+	})
+	if allocs != 0 {
+		t.Errorf("nil *Log path allocates %.1f times per op, want 0", allocs)
+	}
+	if blob, err := l.NDJSON(); err != nil || blob != nil {
+		t.Errorf("nil *Log NDJSON = %q, %v; want nil, nil", blob, err)
+	}
+}

@@ -1,0 +1,103 @@
+package governor
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// IslandDecision is one island's share of a boundary decision.
+type IslandDecision struct {
+	Island int `json:"island"`
+	// From and To are operating points in platform notation ("0.9/2.25").
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Reason is one of the Reason* codes.
+	Reason string `json:"reason"`
+	// Util is the EWMA utilization the decision was made on; Queue the
+	// observed Map-phase backlog (initial tasks per worker).
+	Util  float64 `json:"util"`
+	Queue float64 `json:"queue,omitempty"`
+}
+
+// Decision is one phase-boundary record: which phase it gates, what every
+// island moved from and to and why, and the power accounting the choice
+// was admitted under. Decisions are pure functions of the governed run's
+// own observations, so a run's decision sequence is byte-identical across
+// -j levels, cache states and telemetry settings.
+type Decision struct {
+	// Phase and Kind identify the phase the decision configures.
+	Phase int    `json:"phase"`
+	Kind  string `json:"kind"`
+	// Policy echoes the governing policy.
+	Policy string `json:"policy"`
+	// Islands records every island's move (holds included).
+	Islands []IslandDecision `json:"islands"`
+	// Changed counts islands whose point differs from the previous phase
+	// (0 on the first boundary, which sets rather than changes points).
+	Changed int `json:"changed"`
+	// Sheds counts cap-shedding ladder steps taken in this decision.
+	Sheds int `json:"sheds,omitempty"`
+	// PredPowerW is the worst-case core power of the admitted
+	// configuration; CapW/HeadroomW frame it against the cap (Cap policy).
+	PredPowerW float64 `json:"pred_power_w"`
+	CapW       float64 `json:"cap_w,omitempty"`
+	HeadroomW  float64 `json:"headroom_w,omitempty"`
+	// Violation marks a decision where even the ladder floor exceeded the
+	// cap; the floor configuration is used and the violation counted.
+	Violation bool `json:"violation,omitempty"`
+}
+
+// Log accumulates a governed run's decisions in phase order. A nil *Log is
+// a valid no-op recorder (the "nil receiver" contract shared with the
+// obs/timeline collectors): the disabled-governor-observability path calls
+// methods on a nil handle and must stay an allocation-free no-op.
+type Log struct {
+	decisions []Decision
+}
+
+// NewLog returns an empty decision log.
+func NewLog() *Log { return &Log{} }
+
+// Record appends one decision. No-op on a nil log.
+func (l *Log) Record(d Decision) {
+	if l == nil {
+		return
+	}
+	l.decisions = append(l.decisions, d)
+}
+
+// Len reports the number of recorded decisions.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.decisions)
+}
+
+// Decisions returns the recorded decisions in phase order. The slice is
+// shared; callers must not mutate it.
+func (l *Log) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	return l.decisions
+}
+
+// NDJSON renders the log as newline-delimited JSON, one decision per line
+// — the decision-log artifact format (mrsim -decision-log, CI uploads) and
+// the byte-equality surface of the determinism suite.
+func (l *Log) NDJSON() ([]byte, error) {
+	if l == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	for i := range l.decisions {
+		blob, err := json.Marshal(&l.decisions[i])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(blob)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,29 @@
+package governor
+
+import "wivfi/internal/obs"
+
+// Metric names registered below. Declared constants (enforced by
+// wivfi-lint countersafe) so every lookup site — /metrics scrapes, run
+// manifests, tests — shares one authoritative spelling.
+const (
+	// MetricDecisions counts phase-boundary decisions taken.
+	MetricDecisions = "governor.decisions"
+	// MetricTransitions counts island operating-point changes actuated.
+	MetricTransitions = "governor.transitions"
+	// MetricCapSheds counts cap-shedding ladder steps.
+	MetricCapSheds = "governor.cap_sheds"
+	// MetricCapViolations gauges decisions where even the ladder floor
+	// exceeded the configured cap.
+	MetricCapViolations = "governor.cap_violations"
+)
+
+// Process-wide decision telemetry: always-live atomic counters plus the
+// cap-violation gauge, exported on /metrics wherever the obs debug server
+// runs (wivfid, -debug-addr). Decisions never read these, so telemetry
+// cannot perturb the decision log.
+var (
+	decisionCounter   = obs.NewCounter(MetricDecisions)
+	transitionCounter = obs.NewCounter(MetricTransitions)
+	shedCounter       = obs.NewCounter(MetricCapSheds)
+	capViolationGauge = obs.NewGauge(MetricCapViolations)
+)

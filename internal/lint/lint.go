@@ -129,14 +129,16 @@ func DefaultConfig(modulePath string) Config {
 			"internal/vfi", "internal/qp", "internal/energy",
 			"internal/topo", "internal/place", "internal/sched",
 			"internal/stats", "internal/fidelity", "internal/serve",
+			"internal/governor",
 		),
 		StdoutAllowed:   []string{modulePath + "/cmd/", modulePath + "/examples/"},
-		NilsafePackages: q("internal/obs", "internal/timeline"),
+		NilsafePackages: q("internal/obs", "internal/timeline", "internal/governor"),
 		NilsafeTypes: []string{
 			modulePath + "/internal/timeline.Collector",
 			modulePath + "/internal/timeline.Sampler",
 			modulePath + "/internal/timeline.Histogram",
 			modulePath + "/internal/timeline.Track",
+			modulePath + "/internal/governor.Log",
 		},
 		MetricFuncs: []string{
 			modulePath + "/internal/obs.NewCounter",

@@ -3,6 +3,7 @@
 package counter_neg
 
 import (
+	"wivfi/internal/governor"
 	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 )
@@ -14,10 +15,15 @@ var (
 	runs = obs.NewCounter(MetricRuns)
 	// A constant imported from the package that owns the name works too.
 	jobs = obs.NewCounter(sim.MetricPoolJobs)
+	// The governor's decision metric constants are covered the same way.
+	decisions = obs.NewCounter(governor.MetricDecisions)
+	caps      = obs.NewGauge(governor.MetricCapViolations)
 )
 
 // Touch keeps the registrations referenced.
 func Touch() {
 	runs.Add(1)
 	jobs.Add(1)
+	decisions.Add(1)
+	caps.Add(1)
 }

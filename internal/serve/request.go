@@ -7,6 +7,7 @@ import (
 
 	"wivfi/internal/apps"
 	"wivfi/internal/expt"
+	"wivfi/internal/governor"
 	"wivfi/internal/sim"
 )
 
@@ -39,12 +40,20 @@ type Request struct {
 	// Stream selects the response shape: "" (single JSON document),
 	// "ndjson" or "sse" (live progress events).
 	Stream string `json:"stream,omitempty"`
+	// Policy additionally runs the designed VFI 2 mesh under a closed-loop
+	// DVFS governor ("static", "util" or "cap"; "" disables). Governed
+	// requests carry the policy in their dedup/memo key, so a governed and
+	// an ungoverned run of the same design never collide.
+	Policy string `json:"policy,omitempty"`
+	// CapWatts overrides the chip-level core-power cap of policy "cap"
+	// (default expt.DefaultGovernorCapW), in [20, 500].
+	CapWatts *float64 `json:"cap_watts,omitempty"`
 }
 
 // parseQuery builds a Request from URL query parameters (the curl-friendly
 // GET form of /v1/design).
 func parseQuery(q url.Values) (Request, error) {
-	r := Request{App: q.Get("app"), Stream: q.Get("stream")}
+	r := Request{App: q.Get("app"), Stream: q.Get("stream"), Policy: q.Get("policy")}
 	if v := q.Get("num_islands"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
@@ -55,7 +64,7 @@ func parseQuery(q url.Values) (Request, error) {
 	for _, f := range []struct {
 		name string
 		dst  **float64
-	}{{"freq_margin", &r.FreqMargin}, {"bottleneck_ratio", &r.BottleneckRatio}} {
+	}{{"freq_margin", &r.FreqMargin}, {"bottleneck_ratio", &r.BottleneckRatio}, {"cap_watts", &r.CapWatts}} {
 		if v := q.Get(f.name); v != "" {
 			x, err := strconv.ParseFloat(v, 64)
 			if err != nil {
@@ -106,7 +115,55 @@ func (r Request) Config(base expt.Config) (expt.Config, error) {
 		}
 		cfg.VFI.BottleneckRatio = br
 	}
+	if r.Policy != "" {
+		pol, err := governor.ParsePolicy(r.Policy)
+		if err != nil {
+			return expt.Config{}, err
+		}
+		if r.CapWatts != nil {
+			if pol != governor.Cap {
+				return expt.Config{}, fmt.Errorf("cap_watts requires policy %q, got %q", governor.Cap, pol)
+			}
+			if cw := *r.CapWatts; cw < 20 || cw > 500 {
+				return expt.Config{}, fmt.Errorf("cap_watts %v out of range [20, 500]", cw)
+			}
+		}
+	} else if r.CapWatts != nil {
+		return expt.Config{}, fmt.Errorf("cap_watts requires policy %q", governor.Cap)
+	}
 	return cfg, nil
+}
+
+// governorSpec resolves the request's governor dimension after Config has
+// validated it: the parsed policy, the effective cap and whether a
+// governed run was requested at all.
+func (r Request) governorSpec() (pol governor.Policy, capW float64, governed bool) {
+	if r.Policy == "" {
+		return governor.Static, 0, false
+	}
+	pol, _ = governor.ParsePolicy(r.Policy)
+	if pol == governor.Cap {
+		capW = expt.DefaultGovernorCapW
+		if r.CapWatts != nil {
+			capW = *r.CapWatts
+		}
+	}
+	return pol, capW, true
+}
+
+// keyExtras spells the governor dimension into the dedup/memo key salt;
+// empty for ungoverned requests, which therefore keep their historical
+// keys.
+func (r Request) keyExtras() []string {
+	pol, capW, governed := r.governorSpec()
+	if !governed {
+		return nil
+	}
+	extras := []string{"policy=" + pol.String()}
+	if pol == governor.Cap {
+		extras = append(extras, fmt.Sprintf("cap=%g", capW))
+	}
+	return extras
 }
 
 // SystemResult is one simulated system's share of a design result:
@@ -147,14 +204,39 @@ type Result struct {
 	// reports per application.
 	BestStrategy string  `json:"best_strategy"`
 	BestEDPRatio float64 `json:"best_edp_ratio"`
+	// Governor carries the closed-loop run of governed requests (a policy
+	// was set); absent otherwise, leaving ungoverned documents unchanged.
+	Governor *GovernorResult `json:"governor,omitempty"`
+}
+
+// GovernorResult is the governed run's share of a design result: the run
+// itself in the same normalized shape as the static systems, plus the
+// governor's decision statistics and power envelope.
+type GovernorResult struct {
+	Policy string `json:"policy"`
+	// CapW is the effective core-power cap (policy "cap" only).
+	CapW float64 `json:"cap_w,omitempty"`
+	// Governed is the VFI 2 mesh run under the governor, normalized
+	// against the same NVFI mesh baseline as every other system.
+	Governed SystemResult `json:"governed"`
+	// Decision statistics of the run (see governor.Summary).
+	Decisions     int `json:"decisions"`
+	Transitions   int `json:"transitions"`
+	Sheds         int `json:"sheds,omitempty"`
+	CapViolations int `json:"cap_violations,omitempty"`
+	// MaxPowerW is the maximum measured per-phase core power;
+	// WorstCasePowerW the worst-case bound of any admitted configuration.
+	MaxPowerW       float64 `json:"max_power_w"`
+	WorstCasePowerW float64 `json:"worst_case_power_w"`
 }
 
 // ResultSchemaVersion is stamped into every Result; bump it when the
 // document's meaning changes.
 const ResultSchemaVersion = 1
 
-// buildResult condenses a finished pipeline into the response document.
-func buildResult(key string, cfg expt.Config, pl *expt.Pipeline) *Result {
+// buildResult condenses a finished pipeline into the response document;
+// gov is the governed run's section for governed requests, nil otherwise.
+func buildResult(key string, cfg expt.Config, pl *expt.Pipeline, gov *GovernorResult) *Result {
 	sys := func(r *sim.RunResult) SystemResult {
 		exec, energy, edp := r.Report.Relative(pl.Baseline.Report)
 		return SystemResult{
@@ -183,5 +265,6 @@ func buildResult(key string, cfg expt.Config, pl *expt.Pipeline) *Result {
 		WiNoCMaxWireless: sys(pl.WiNoC[sim.MaxWireless]),
 		BestStrategy:     pl.BestStrategy.String(),
 		BestEDPRatio:     bestEDP,
+		Governor:         gov,
 	}
 }

@@ -77,7 +77,7 @@ func TestDesignResultMatchesDirectPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := buildResult(expt.RequestKey(s.Base(), "mm"), s.Base(), pl)
+	want := buildResult(expt.RequestKey(s.Base(), "mm"), s.Base(), pl, nil)
 	wantRaw, err := json.MarshalIndent(want, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +116,21 @@ func TestDesignValidation(t *testing.T) {
 		}, http.StatusBadRequest},
 		{"bad stream mode", func() *http.Response {
 			return postDesign(t, ts.URL, Request{App: "mm", Stream: "carrier-pigeon"})
+		}, http.StatusBadRequest},
+		{"unknown policy", func() *http.Response {
+			return postDesign(t, ts.URL, Request{App: "mm", Policy: "turbo"})
+		}, http.StatusBadRequest},
+		{"cap_watts without cap policy", func() *http.Response {
+			cw := 100.0
+			return postDesign(t, ts.URL, Request{App: "mm", Policy: "util", CapWatts: &cw})
+		}, http.StatusBadRequest},
+		{"cap_watts without policy", func() *http.Response {
+			cw := 100.0
+			return postDesign(t, ts.URL, Request{App: "mm", CapWatts: &cw})
+		}, http.StatusBadRequest},
+		{"cap_watts out of range", func() *http.Response {
+			cw := 5.0
+			return postDesign(t, ts.URL, Request{App: "mm", Policy: "cap", CapWatts: &cw})
 		}, http.StatusBadRequest},
 		{"unknown body field", func() *http.Response {
 			resp, err := http.Post(ts.URL+"/v1/design", "application/json",

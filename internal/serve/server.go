@@ -30,6 +30,7 @@ import (
 
 	"wivfi/internal/apps"
 	"wivfi/internal/expt"
+	"wivfi/internal/governor"
 	"wivfi/internal/obs"
 	"wivfi/internal/sim"
 )
@@ -284,7 +285,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := expt.RequestKey(cfg, req.App)
+	key := expt.RequestKey(cfg, req.App, req.keyExtras()...)
 	if key == "" {
 		writeError(w, http.StatusInternalServerError, errors.New("request config cannot be keyed"))
 		return
@@ -322,7 +323,13 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Cache-Control", "no-store")
 		em = &emitter{id: id, sink: sseSink{w}}
 	}
-	em.emit(Event{Event: EventAccepted, App: req.App, Key: key})
+	pol, capW, governed := req.governorSpec()
+	accepted := Event{Event: EventAccepted, App: req.App, Key: key}
+	if governed {
+		accepted.Policy = pol.String()
+		accepted.CapW = capW
+	}
+	em.emit(accepted)
 
 	s.mu.Lock()
 	f, found := s.flights[key]
@@ -362,13 +369,15 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if em != nil {
 		f.subscribe(em)
 	}
-	s.execute(f, cfg, req.App)
+	s.execute(f, cfg, req)
 	s.respond(w, em, f, f.cacheLabel(), start)
 }
 
 // execute runs the design pipeline as the flight's leader, streaming
 // stage progress to subscribers and classifying the design-cache outcome.
-func (s *Server) execute(f *flight, cfg expt.Config, appName string) {
+// Governed requests additionally run the designed mesh under the governor,
+// streaming every decision as an event.
+func (s *Server) execute(f *flight, cfg expt.Config, req Request) {
 	// A panicking build (a bug, an aborted handler) must still seal and
 	// evict the flight, or every later request for this key would block
 	// forever on done.
@@ -381,7 +390,7 @@ func (s *Server) execute(f *flight, cfg expt.Config, appName string) {
 	if s.execHook != nil {
 		s.execHook(f.key)
 	}
-	app, err := apps.ByName(appName)
+	app, err := apps.ByName(req.App)
 	if err != nil {
 		s.finish(f, err)
 		return
@@ -408,7 +417,36 @@ func (s *Server) execute(f *flight, cfg expt.Config, appName string) {
 		s.finish(f, err)
 		return
 	}
-	res := buildResult(f.key, cfg, pl)
+	var gov *GovernorResult
+	if pol, capW, governed := req.governorSpec(); governed {
+		ob.Stage("sim:governor", "start")
+		run, sum, err := expt.GovernedMesh(cfg, pl, pol, capW, nil, func(d governor.Decision) {
+			f.publish(Event{Event: EventDecision, Decision: &d})
+		})
+		if err != nil {
+			s.finish(f, err)
+			return
+		}
+		ob.Stage("sim:governor", "done")
+		exec, energy, edp := run.Report.Relative(pl.Baseline.Report)
+		gov = &GovernorResult{
+			Policy: sum.Policy,
+			CapW:   sum.CapW,
+			Governed: SystemResult{
+				ExecSeconds: run.Report.ExecSeconds,
+				TotalJ:      run.Report.TotalJ(),
+				EDP:         run.Report.EDP(),
+				ExecRatio:   exec, EnergyRatio: energy, EDPRatio: edp,
+			},
+			Decisions:       sum.Decisions,
+			Transitions:     sum.Transitions,
+			Sheds:           sum.Sheds,
+			CapViolations:   sum.CapViolations,
+			MaxPowerW:       sum.MaxPowerW,
+			WorstCasePowerW: sum.WorstCasePowerW,
+		}
+	}
+	res := buildResult(f.key, cfg, pl, gov)
 	raw, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		s.finish(f, err)

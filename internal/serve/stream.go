@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"wivfi/internal/governor"
 	"wivfi/internal/obs"
 )
 
@@ -30,6 +31,11 @@ const (
 	EventCache = "cache"
 	// EventPhase: one pipeline stage changed state ("start"/"done").
 	EventPhase = "phase"
+	// EventDecision: one closed-loop governor decision of a governed
+	// request, carrying the full decision record (phase, per-island moves,
+	// predicted power, cap headroom). Emitted between the sim:governor
+	// phase events, in phase order.
+	EventDecision = "decision"
 	// EventResult: the terminal success event; carries the Result and the
 	// per-stage wall-time summaries in the manifest's StageSummary schema.
 	EventResult = "result"
@@ -48,6 +54,10 @@ type Event struct {
 	Event     string `json:"event"`
 	App       string `json:"app,omitempty"`
 	Key       string `json:"key,omitempty"`
+	// Policy and CapW describe a governed request's governor dimension,
+	// stamped on EventAccepted.
+	Policy string  `json:"policy,omitempty"`
+	CapW   float64 `json:"cap_w,omitempty"`
 	// Phase and State describe EventPhase ("design-flow", "start").
 	Phase string `json:"phase,omitempty"`
 	State string `json:"state,omitempty"`
@@ -61,8 +71,10 @@ type Event struct {
 	// Stages aggregates the leader's per-stage wall times in the run
 	// manifest's schema, on EventResult.
 	Stages []obs.StageSummary `json:"stages,omitempty"`
-	Result *Result            `json:"result,omitempty"`
-	Error  string             `json:"error,omitempty"`
+	// Decision carries one governor decision record on EventDecision.
+	Decision *governor.Decision `json:"decision,omitempty"`
+	Result   *Result            `json:"result,omitempty"`
+	Error    string             `json:"error,omitempty"`
 }
 
 // eventSink writes one event to the client in the negotiated framing.

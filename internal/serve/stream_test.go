@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"wivfi/internal/expt"
 )
 
 // collectNDJSON submits a streaming design request and decodes every
@@ -193,4 +195,110 @@ func TestSSEStream(t *testing.T) {
 	if last := events[len(events)-1]; last.Event != EventResult || last.Result == nil {
 		t.Errorf("terminal SSE event = %+v, want a result", last)
 	}
+}
+
+// TestGovernedStream: a governed request streams its policy on the
+// accepted event, every governor decision as a decision event in phase
+// order, a sim:governor phase, and a governor section on the result — with
+// the cap guarantee visible in the numbers.
+func TestGovernedStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, events := collectNDJSON(t, ts.URL, Request{App: "mm", Stream: StreamNDJSON, Policy: "cap"})
+	_ = resp
+
+	first := events[0]
+	if first.Event != EventAccepted || first.Policy != "cap" || first.CapW != expt.DefaultGovernorCapW {
+		t.Errorf("accepted event = %+v, want policy cap with the default cap", first)
+	}
+
+	var decisions []Event
+	var governorPhaseDone bool
+	var result *Result
+	for _, ev := range events {
+		switch ev.Event {
+		case EventDecision:
+			decisions = append(decisions, ev)
+		case EventPhase:
+			if ev.Phase == "sim:governor" && ev.State == "done" {
+				governorPhaseDone = true
+			}
+		case EventResult:
+			result = ev.Result
+		}
+	}
+	if len(decisions) == 0 {
+		t.Fatal("governed stream carried no decision events")
+	}
+	for i, ev := range decisions {
+		if ev.Decision == nil {
+			t.Fatalf("decision event %d has no decision record", i)
+		}
+		if ev.Decision.Phase != i {
+			t.Errorf("decision event %d is for phase %d, want phase order", i, ev.Decision.Phase)
+		}
+		if ev.Decision.PredPowerW > expt.DefaultGovernorCapW {
+			t.Errorf("decision %d admitted %.2f W over the %.0f W cap", i, ev.Decision.PredPowerW, expt.DefaultGovernorCapW)
+		}
+	}
+	if !governorPhaseDone {
+		t.Error("stream missing the sim:governor phase events")
+	}
+	if result == nil || result.Governor == nil {
+		t.Fatal("result event missing the governor section")
+	}
+	g := result.Governor
+	if g.Policy != "cap" || g.CapW != expt.DefaultGovernorCapW {
+		t.Errorf("governor section = %+v, want policy cap at the default cap", g)
+	}
+	if g.Decisions != len(decisions) {
+		t.Errorf("governor section counts %d decisions, stream carried %d", g.Decisions, len(decisions))
+	}
+	if g.CapViolations != 0 {
+		t.Errorf("%d cap violations", g.CapViolations)
+	}
+	if g.MaxPowerW > g.WorstCasePowerW || g.WorstCasePowerW > g.CapW {
+		t.Errorf("cap guarantee broken: measured %.2f, worst case %.2f, cap %.2f", g.MaxPowerW, g.WorstCasePowerW, g.CapW)
+	}
+}
+
+// TestGovernedKeySeparation: governed and ungoverned runs of one design
+// must never collide in the result memo, and repeated governed requests
+// must.
+func TestGovernedKeySeparation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	static := postDesign(t, ts.URL, Request{App: "mm"})
+	staticBody := body(t, static)
+
+	governed := postDesign(t, ts.URL, Request{App: "mm", Policy: "util"})
+	if got := governed.Header.Get("X-Wivfi-Cache"); got == "memo" {
+		t.Error("governed request answered from the ungoverned memo")
+	}
+	governedBody := body(t, governed)
+	if governedBody == staticBody {
+		t.Error("governed and ungoverned results are identical documents")
+	}
+	var doc Result
+	if err := json.Unmarshal([]byte(governedBody), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Governor == nil || doc.Governor.Policy != "util" {
+		t.Errorf("governed document missing its governor section: %+v", doc.Governor)
+	}
+	if doc.Key == "" || strings.Contains(staticBody, doc.Key) {
+		t.Errorf("governed key %q not distinct from the ungoverned document", doc.Key)
+	}
+
+	repeat := postDesign(t, ts.URL, Request{App: "mm", Policy: "util"})
+	if got := repeat.Header.Get("X-Wivfi-Cache"); got != "memo" {
+		t.Errorf("repeated governed request X-Wivfi-Cache = %q, want memo", got)
+	}
+	if repeatBody := body(t, repeat); repeatBody != governedBody {
+		t.Error("memoized governed response not byte-identical")
+	}
+
+	capped := postDesign(t, ts.URL, Request{App: "mm", Policy: "cap"})
+	if got := capped.Header.Get("X-Wivfi-Cache"); got == "memo" {
+		t.Error("cap-policy request answered from the util-policy memo")
+	}
+	body(t, capped)
 }
