@@ -7,6 +7,7 @@
 //	reproduce [-j N] [-cache dir] [-table1] [-table2] [-fig2] [-fig4]
 //	          [-fig5] [-fig6] [-fig7] [-fig8] [-kintra] [-stealing]
 //	          [-summary] [-policy static|util|cap] [-cap W]
+//	          [-sweep spec.json] [-sweep-journal j.ndjson] [-sweep-atlas a.json]
 //	          [-snapshot out.json] [-baseline ref.json] [-check]
 //	          [-report out.html] [-timeline dir]
 //	          [-trace file.json] [-manifest file.json] [-v] [-debug-addr addr]
@@ -20,6 +21,15 @@
 // under a chip-level core-power cap (set with -cap, watts) across all six
 // benchmarks. The section is opt-in: without -policy, stdout is
 // byte-identical to earlier releases.
+//
+// -sweep runs a parametric scenario sweep from the given spec file (see
+// internal/sweep and the wivfisweep command) and prints its atlas as an
+// opt-in section; -sweep-journal makes it resumable and -sweep-atlas
+// writes the atlas JSON document. Like -policy, the section never runs as
+// part of the flagless default, so a flagless run's stdout stays
+// byte-identical. Sweep scenarios share -j, -cache and the scenario
+// keyspace with the figure suite, so the default-platform scenarios reuse
+// the suite's cached designs.
 //
 // The fidelity flags drive the results-observability layer: -snapshot
 // serializes every figure and table row into one schema-versioned JSON
@@ -45,6 +55,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +66,7 @@ import (
 	"wivfi/internal/fidelity"
 	"wivfi/internal/governor"
 	"wivfi/internal/obs"
+	"wivfi/internal/sweep"
 	"wivfi/internal/timeline"
 )
 
@@ -79,6 +91,10 @@ func main() {
 		policy   = flag.String("policy", "", "extension: closed-loop DVFS governor section (static, util or cap; the section compares all three)")
 		capWatts = flag.Float64("cap", expt.DefaultGovernorCapW, "chip core-power cap in watts for the governor section's cap column")
 
+		sweepSpec    = flag.String("sweep", "", "parametric scenario sweep section from this spec JSON file (see wivfisweep)")
+		sweepJournal = flag.String("sweep-journal", "", "resumable NDJSON journal for the -sweep section")
+		sweepAtlas   = flag.String("sweep-atlas", "", "write the -sweep section's atlas JSON document here")
+
 		snapshotPath = flag.String("snapshot", "", "write the full metrics snapshot (JSON)")
 		baselinePath = flag.String("baseline", "", "diff the snapshot against this baseline snapshot")
 		check        = flag.Bool("check", false, "exit non-zero on scoreboard failures or baseline regressions")
@@ -96,7 +112,8 @@ func main() {
 		tcli.ForceCollector()
 	}
 	all := !(*table1 || *table2 || *fig2 || *fig4 || *fig5 || *fig6 ||
-		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins)
+		*fig7 || *fig8 || *kintra || *stealing || *summary || *phased || *wifail || *margins ||
+		*sweepSpec != "")
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
@@ -268,6 +285,35 @@ func main() {
 				return "", err
 			}
 			return expt.FormatGovernor(rows), nil
+		}},
+		// The sweep section is opt-in only for the same reason; it writes
+		// its optional atlas JSON to a file, never stdout.
+		{"sweep", *sweepSpec != "", true, func() (string, error) {
+			spec, err := sweep.LoadSpec(*sweepSpec)
+			if err != nil {
+				return "", err
+			}
+			res, err := sweep.Run(spec, sweep.Options{
+				JournalPath: *sweepJournal,
+				Parallelism: *jobs,
+				CacheDir:    cacheDir,
+				OnProgress: func(done, total int) {
+					obs.Logf("reproduce: sweep %s: %d/%d scenarios", spec.Name, done, total)
+				},
+			})
+			if err != nil {
+				return "", err
+			}
+			if *sweepAtlas != "" {
+				blob, err := json.MarshalIndent(res.Atlas, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*sweepAtlas, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+			}
+			return res.Atlas.Format(), nil
 		}},
 		{"summary", all || *summary, false, func() (string, error) {
 			rows, err := suite.Fig8()

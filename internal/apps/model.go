@@ -76,8 +76,10 @@ type modelParams struct {
 	mapTaskSpread float64
 	mapTaskMemOps float64
 	// mapActiveLate restricts the active thread set from the second
-	// iteration on (Kmeans convergence); nil keeps all threads.
-	mapActiveLate []int
+	// iteration on (Kmeans convergence), as a function of the platform's
+	// thread count so the shape scales with the mesh; nil keeps all
+	// threads.
+	mapActiveLate func(threads int) []int
 	// mapTasksLate shrinks the task pool from the second iteration on
 	// (converged data groups need less work); 0 keeps mapTasks.
 	mapTasksLate int
@@ -95,8 +97,8 @@ type modelParams struct {
 	reduceMemOps    float64 // memory ops per active thread
 	reduceJitterAmp float64
 	// reduceActiveLate, when set, restricts reduce work from iteration 2
-	// on to the listed threads (others contribute zero).
-	reduceActiveLate []int
+	// on to the returned threads (others contribute zero).
+	reduceActiveLate func(threads int) []int
 
 	// Merge (per iteration): zero or more converging stages.
 	mergeStages []mergeStage
@@ -136,7 +138,7 @@ func buildWorkload(p modelParams, threads int) (*sim.Workload, error) {
 		mapTaskSec := p.mapTaskSec
 		mapTaskMemOps := p.mapTaskMemOps
 		if iter > 0 && p.mapActiveLate != nil {
-			mapActive = p.mapActiveLate
+			mapActive = p.mapActiveLate(threads)
 		}
 		if iter > 0 && p.mapTasksLate > 0 {
 			mapTasks = p.mapTasksLate
@@ -148,7 +150,7 @@ func buildWorkload(p modelParams, threads int) (*sim.Workload, error) {
 			mapTaskMemOps = p.mapTaskMemOpsLate
 		}
 		if iter > 0 && p.reduceActiveLate != nil {
-			reduceActive = p.reduceActiveLate
+			reduceActive = p.reduceActiveLate(threads)
 		}
 
 		// --- Library initialization ---
@@ -273,6 +275,16 @@ func rangeThreads(lo, hi int) []int {
 		out = append(out, th)
 	}
 	return out
+}
+
+// upperHalfThreads selects the top half of the thread ids — the data
+// groups that stay active once Kmeans converges (threads 32..63 on the
+// paper's 64-thread platform, scaled on other meshes).
+func upperHalfThreads(threads int) []int { return rangeThreads(threads/2, threads) }
+
+// masterPlusUpperHalf is upperHalfThreads plus the master thread.
+func masterPlusUpperHalf(threads int) []int {
+	return append([]int{0}, upperHalfThreads(threads)...)
 }
 
 // Model parameter sets. Utilization-band targets under the margin-0.35 V/F
@@ -402,7 +414,7 @@ func kmeansParams() modelParams {
 		mapTaskSec:        0.020,
 		mapTaskSpread:     0.12,
 		mapTaskMemOps:     1.2e6,
-		mapActiveLate:     rangeThreads(32, 64),
+		mapActiveLate:     upperHalfThreads,
 		mapTasksLate:      192,
 		mapTaskSecLate:    0.073,
 		mapTaskMemOpsLate: 3.0e6,
@@ -411,7 +423,7 @@ func kmeansParams() modelParams {
 		reduceMasterSec:  0, // master is no hotter than its group
 		reduceMemOps:     1.4e7,
 		reduceJitterAmp:  0.10,
-		reduceActiveLate: append([]int{0}, rangeThreads(32, 64)...),
+		reduceActiveLate: masterPlusUpperHalf,
 
 		mergeStages: []mergeStage{
 			{Threads: 8, WorkSec: 0.012, MemOps: 1.5e5},

@@ -8,6 +8,7 @@ import (
 	"wivfi/internal/governor"
 	"wivfi/internal/platform"
 	"wivfi/internal/sim"
+	"wivfi/internal/vfi"
 )
 
 // DefaultGovernorCapW is the chip-level core-power cap (watts) of the
@@ -52,6 +53,28 @@ func governedRun(cfg Config, pl *Pipeline, meshSys *sim.System, pol governor.Pol
 	g.SetLog(log)
 	g.OnDecision(onDecision)
 	run, err := sim.RunGoverned(pl.Workload, meshSys, g, sim.DefaultDVFSTransition())
+	if err != nil {
+		return nil, governor.Summary{}, err
+	}
+	return run, g.Summary(), nil
+}
+
+// GovernedSystem executes workload w on a prebuilt VFI 2 mesh system under
+// the closed-loop governor, from a bare (profile, plan) design rather than
+// a full Pipeline — the sweep orchestrator's entry point for its governed
+// scenario dimension.
+func GovernedSystem(cfg Config, w *sim.Workload, plan vfi.Plan, meshSys *sim.System,
+	pol governor.Policy, capW float64) (*sim.RunResult, governor.Summary, error) {
+	g := governor.New(governor.Config{
+		Policy:    pol,
+		Plan:      plan.VFI2,
+		Table:     platform.DefaultDVFSTable(),
+		Margin:    cfg.VFI.FreqMargin,
+		CapW:      capW,
+		Protected: plan.RaisedIslands,
+		Core:      cfg.Build.CoreModel,
+	})
+	run, err := sim.RunGoverned(w, meshSys, g, sim.DefaultDVFSTransition())
 	if err != nil {
 		return nil, governor.Summary{}, err
 	}

@@ -107,6 +107,25 @@ func BuildPipeline(cfg Config, app *apps.App) (*Pipeline, error) {
 	return buildPipeline(cfg, app, nil, "", nil, nil)
 }
 
+// BuildDesign runs the design flow alone — probe simulation, clustering
+// and V/F assignment, or a load from the config-keyed disk cache — without
+// simulating the derived systems. It is the entry point for callers (the
+// sweep orchestrator) that compose their own system set from the returned
+// profile and plan while still deduplicating design work across scenarios
+// through the shared cache. The returned workload is the one the profile
+// was characterized with; fromCache reports a design-cache hit.
+func BuildDesign(cfg Config, app *apps.App, pool *sim.Pool, cacheDir string) (*sim.Workload, platform.Profile, vfi.Plan, bool, error) {
+	w, err := app.Workload(cfg.Build.Chip.NumCores())
+	if err != nil {
+		return nil, platform.Profile{}, vfi.Plan{}, false, fmt.Errorf("expt: %s workload: %w", app.Name, err)
+	}
+	prof, plan, cached, err := designFlow(cfg, app, w, pool, cacheDir, nil, nil)
+	if err != nil {
+		return nil, platform.Profile{}, vfi.Plan{}, false, err
+	}
+	return w, prof, plan, cached, nil
+}
+
 // BuildPipelineObserved is the serving-layer entry point: one pipeline
 // build for an arbitrary request Config, fanned out over the caller's
 // shared pool, consulting the design cache at cacheDir ("" disables), with

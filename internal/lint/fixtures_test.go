@@ -116,6 +116,15 @@ func TestCounterSafeFixtures(t *testing.T) {
 		func(cfg *Config, paths []string) {})
 }
 
+func TestSweepFixtures(t *testing.T) {
+	// The sweep fixtures exercise both analyzers the real package must
+	// satisfy at once: countersafe (sweep.* names are declared constants)
+	// and determinism (sweep is a result package; wall clock only behind
+	// a reasoned //lint:wallclock).
+	runFixture(t, "sweepmetrics", []string{"sweep_pos", "sweep_neg"},
+		func(cfg *Config, paths []string) { cfg.ResultPackages = append(cfg.ResultPackages, paths...) })
+}
+
 func TestAnnotationHygieneFixtures(t *testing.T) {
 	// The package is made a result package so the reasonless //lint:wallclock
 	// provably fails to suppress the determinism finding it sits on.
@@ -126,7 +135,7 @@ func TestAnnotationHygieneFixtures(t *testing.T) {
 // TestNegativesStayClean pins the core property of every *_neg fixture: a
 // full-default-suite run over all of them together yields nothing.
 func TestNegativesStayClean(t *testing.T) {
-	names := []string{"det_neg", "nilsafe_neg", "stdout_neg", "counter_neg"}
+	names := []string{"det_neg", "nilsafe_neg", "stdout_neg", "counter_neg", "sweep_neg"}
 	mod, pkgs, root := loadFixtures(t, names...)
 	cfg := DefaultConfig(mod.Path)
 	for _, name := range names {

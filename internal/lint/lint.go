@@ -129,7 +129,7 @@ func DefaultConfig(modulePath string) Config {
 			"internal/vfi", "internal/qp", "internal/energy",
 			"internal/topo", "internal/place", "internal/sched",
 			"internal/stats", "internal/fidelity", "internal/serve",
-			"internal/governor",
+			"internal/governor", "internal/sweep",
 		),
 		StdoutAllowed:   []string{modulePath + "/cmd/", modulePath + "/examples/"},
 		NilsafePackages: q("internal/obs", "internal/timeline", "internal/governor"),

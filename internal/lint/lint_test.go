@@ -177,6 +177,7 @@ func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
 		"internal/noc", "internal/mapreduce", "internal/expt", "internal/vfi",
 		"internal/qp", "internal/energy", "internal/topo", "internal/place",
 		"internal/sched", "internal/stats", "internal/fidelity",
+		"internal/serve", "internal/sweep",
 	} {
 		if !contains(cfg.ResultPackages, "wivfi/"+rel) {
 			t.Errorf("ResultPackages missing %s", rel)

@@ -1,0 +1,29 @@
+// Package sweep_pos seeds the violations the sweep package must never
+// ship: inline metric-name literals and unannotated wall clock in a
+// result-producing (journal/atlas-writing) package.
+package sweep_pos
+
+import (
+	"time"
+
+	"wivfi/internal/obs"
+)
+
+var (
+	// A typo in a literal here records a metric no dashboard reads.
+	planned = obs.NewCounter("sweep.scenarios_planed")
+	// Computed names defeat grep just as thoroughly.
+	inflight = obs.NewGauge("sweep." + "in_flight")
+)
+
+// Elapsed leaks the wall clock into a would-be record field without the
+// //lint:wallclock annotation that declares it journal-only.
+func Elapsed(start time.Time) int64 {
+	return time.Since(start).Milliseconds()
+}
+
+// Touch keeps the registrations referenced.
+func Touch() {
+	planned.Add(1)
+	inflight.Add(1)
+}

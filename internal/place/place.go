@@ -146,7 +146,10 @@ func MapThreadsMinDistance(chip platform.Chip, assign []int, traffic [][]float64
 	if len(assign) != n || len(traffic) != n {
 		return Mapping{}, fmt.Errorf("place: need %d assignments and traffic rows", n)
 	}
-	quads := topo.Quadrants(chip)
+	quads, err := topo.PartitionForAssign(chip, assign)
+	if err != nil {
+		return Mapping{}, err
+	}
 	if err := checkClusterSizes(assign, quads); err != nil {
 		return Mapping{}, err
 	}
@@ -293,9 +296,76 @@ func CenterWIs(chip platform.Chip) [][]int {
 	return out
 }
 
+// RegionWIs generalizes CenterWIs to an arbitrary region partition: every
+// region gets topo.WIsPerCluster switches near its centre. Rectangular
+// regions of at least 2x2 tiles use the exact quadrant-centre rule (so the
+// paper's layout is reproduced bit-for-bit); irregular regions fall back
+// to the three tiles nearest the region centroid. Regions smaller than
+// WIsPerCluster tiles cannot host a WI set and yield an error.
+func RegionWIs(chip platform.Chip, regions [][]int) ([][]int, error) {
+	out := make([][]int, len(regions))
+	for q, tiles := range regions {
+		if len(tiles) < topo.WIsPerCluster {
+			return nil, fmt.Errorf("place: region %d has %d tiles; needs at least %d for its wireless interfaces",
+				q, len(tiles), topo.WIsPerCluster)
+		}
+		minR, minC := chip.Rows, chip.Cols
+		maxR, maxC := 0, 0
+		for _, id := range tiles {
+			r, c := chip.Coord(id)
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+			}
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		h, w := maxR-minR+1, maxC-minC+1
+		if len(tiles) == h*w && h >= 2 && w >= 2 {
+			cr := minR + h/2
+			cc := minC + w/2
+			out[q] = []int{
+				chip.ID(cr, cc),
+				chip.ID(cr-1, cc),
+				chip.ID(cr, cc-1),
+			}
+			continue
+		}
+		// Irregular (snake-sliced) region: the WIsPerCluster tiles closest
+		// to the centroid, ties broken by tile id for determinism.
+		var sr, sc float64
+		for _, id := range tiles {
+			r, c := chip.Coord(id)
+			sr += float64(r)
+			sc += float64(c)
+		}
+		sr /= float64(len(tiles))
+		sc /= float64(len(tiles))
+		ordered := append([]int(nil), tiles...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			ra, ca := chip.Coord(ordered[a])
+			rb, cb := chip.Coord(ordered[b])
+			da := (float64(ra)-sr)*(float64(ra)-sr) + (float64(ca)-sc)*(float64(ca)-sc)
+			db := (float64(rb)-sr)*(float64(rb)-sr) + (float64(cb)-sc)*(float64(cb)-sc)
+			if da != db {
+				return da < db
+			}
+			return ordered[a] < ordered[b]
+		})
+		out[q] = append([]int(nil), ordered[:topo.WIsPerCluster]...)
+	}
+	return out, nil
+}
+
 // BuildTopology constructs the small-world wireline fabric (inter-cluster
 // links apportioned by the cluster traffic of the mapped assignment) and
-// overlays the WI placement.
+// overlays the WI placement, over the chip's quadrant clusters.
 func BuildTopology(chip platform.Chip, interTraffic [][]float64, placement [][]int, cfg topo.SmallWorldConfig) (*topo.Topology, error) {
 	cfg.InterTraffic = interTraffic
 	tp, err := topo.SmallWorld(chip, cfg)
@@ -308,10 +378,24 @@ func BuildTopology(chip platform.Chip, interTraffic [][]float64, placement [][]i
 	return tp, nil
 }
 
+// BuildTopologyRegions is BuildTopology over an explicit region partition,
+// the entry point for non-quadrant island geometries.
+func BuildTopologyRegions(chip platform.Chip, regions [][]int, interTraffic [][]float64, placement [][]int, cfg topo.SmallWorldConfig) (*topo.Topology, error) {
+	cfg.InterTraffic = interTraffic
+	tp, err := topo.SmallWorldRegions(chip, regions, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := topo.AddWireless(tp, placement); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
 // evalPlacement measures the traffic-weighted average hop count of a WI
 // placement on a freshly built topology.
-func evalPlacement(chip platform.Chip, interTraffic, switchTraffic [][]float64, placement [][]int, opts Options) (float64, *topo.Topology, *noc.RouteTable, error) {
-	tp, err := BuildTopology(chip, interTraffic, placement, opts.SmallWorld)
+func evalPlacement(chip platform.Chip, regions [][]int, interTraffic, switchTraffic [][]float64, placement [][]int, opts Options) (float64, *topo.Topology, *noc.RouteTable, error) {
+	tp, err := BuildTopologyRegions(chip, regions, interTraffic, placement, opts.SmallWorld)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -330,13 +414,19 @@ func MinHopCount(chip platform.Chip, assign []int, traffic [][]float64, opts Opt
 		return Result{}, err
 	}
 	switchTraffic := MapTraffic(traffic, mapping)
-	tileCluster := topo.QuadrantOf(chip)
-	interTraffic := ClusterTraffic(switchTraffic, tileCluster, len(topo.Quadrants(chip)))
+	quads, err := topo.PartitionForAssign(chip, assign)
+	if err != nil {
+		return Result{}, err
+	}
+	tileCluster := topo.RegionOf(chip.NumCores(), quads)
+	interTraffic := ClusterTraffic(switchTraffic, tileCluster, len(quads))
 
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
-	quads := topo.Quadrants(chip)
-	placement := CenterWIs(chip) // starting point
-	bestHops, bestTopo, bestRT, err := evalPlacement(chip, interTraffic, switchTraffic, placement, opts)
+	placement, err := RegionWIs(chip, quads) // starting point
+	if err != nil {
+		return Result{}, err
+	}
+	bestHops, bestTopo, bestRT, err := evalPlacement(chip, quads, interTraffic, switchTraffic, placement, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -352,7 +442,7 @@ func MinHopCount(chip platform.Chip, assign []int, traffic [][]float64, opts Opt
 		}
 		old := cur[q][slot]
 		cur[q][slot] = cand
-		hops, tpc, rtc, err := evalPlacement(chip, interTraffic, switchTraffic, cur, opts)
+		hops, tpc, rtc, err := evalPlacement(chip, quads, interTraffic, switchTraffic, cur, opts)
 		if err != nil {
 			cur[q][slot] = old
 			continue
@@ -387,11 +477,17 @@ func MaxWirelessUtil(chip platform.Chip, assign []int, traffic [][]float64, opts
 	if len(assign) != n || len(traffic) != n {
 		return Result{}, fmt.Errorf("place: need %d assignments and traffic rows", n)
 	}
-	quads := topo.Quadrants(chip)
+	quads, err := topo.PartitionForAssign(chip, assign)
+	if err != nil {
+		return Result{}, err
+	}
 	if err := checkClusterSizes(assign, quads); err != nil {
 		return Result{}, err
 	}
-	placement := CenterWIs(chip)
+	placement, err := RegionWIs(chip, quads)
+	if err != nil {
+		return Result{}, err
+	}
 
 	// Thread volume = total traffic in+out; within each cluster, the
 	// highest-volume threads take the tiles closest to a WI ("logically
@@ -456,9 +552,9 @@ func MaxWirelessUtil(chip platform.Chip, assign []int, traffic [][]float64, opts
 	}
 	annealPinned(chip, assign, traffic, &mapping, pinned, opts.Seed, opts.MappingSweeps)
 	switchTraffic := MapTraffic(traffic, mapping)
-	tileCluster := topo.QuadrantOf(chip)
+	tileCluster := topo.RegionOf(chip.NumCores(), quads)
 	interTraffic := ClusterTraffic(switchTraffic, tileCluster, len(quads))
-	tp, err := BuildTopology(chip, interTraffic, placement, opts.SmallWorld)
+	tp, err := BuildTopologyRegions(chip, quads, interTraffic, placement, opts.SmallWorld)
 	if err != nil {
 		return Result{}, err
 	}

@@ -136,12 +136,26 @@ func TestMapThreadsMinDistanceImprovesOverInitial(t *testing.T) {
 
 func TestMapThreadsMinDistanceRejectsBadSizes(t *testing.T) {
 	chip := platform.DefaultChip()
-	assign := make([]int, 64) // everybody in cluster 0: size 64 != 16
-	if _, err := MapThreadsMinDistance(chip, assign, randTraffic(rand.New(rand.NewSource(1)), 64, 0.1), 1, 10); err == nil {
-		t.Error("oversized cluster accepted")
+	// Island labels with a gap (island 1 empty) are invalid.
+	gap := make([]int, 64)
+	for i := 32; i < 64; i++ {
+		gap[i] = 2
 	}
-	if _, err := MapThreadsMinDistance(chip, assign[:10], nil, 1, 10); err == nil {
+	if _, err := MapThreadsMinDistance(chip, gap, randTraffic(rand.New(rand.NewSource(1)), 64, 0.1), 1, 10); err == nil {
+		t.Error("assignment with empty island accepted")
+	}
+	neg := make([]int, 64)
+	neg[3] = -1
+	if _, err := MapThreadsMinDistance(chip, neg, randTraffic(rand.New(rand.NewSource(1)), 64, 0.1), 1, 10); err == nil {
+		t.Error("negative island index accepted")
+	}
+	if _, err := MapThreadsMinDistance(chip, gap[:10], nil, 1, 10); err == nil {
 		t.Error("short assignment accepted")
+	}
+	// A single chip-wide cluster is a valid (degenerate) partition under
+	// the generalized region API.
+	if _, err := MapThreadsMinDistance(chip, make([]int, 64), randTraffic(rand.New(rand.NewSource(1)), 64, 0.1), 1, 2); err != nil {
+		t.Errorf("single-cluster assignment rejected: %v", err)
 	}
 }
 

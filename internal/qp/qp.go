@@ -36,6 +36,10 @@ type Problem struct {
 	Util        []float64   // normalized per-core utilization
 	TargetMeans []float64   // ū_j, one per cluster, ascending
 	Wc, Wu      float64     // ω_c, ω_u
+	// Sizes optionally prescribes an unequal partition: cluster j must hold
+	// exactly Sizes[j] cores. Nil means the classic equal split of N/M
+	// (which then must divide evenly).
+	Sizes []int
 }
 
 // Validate checks the structural invariants of the instance.
@@ -43,7 +47,21 @@ func (p *Problem) Validate() error {
 	if p.N <= 0 || p.M <= 0 {
 		return fmt.Errorf("qp: need positive n and m, got n=%d m=%d", p.N, p.M)
 	}
-	if p.N%p.M != 0 {
+	if p.Sizes != nil {
+		if len(p.Sizes) != p.M {
+			return fmt.Errorf("qp: %d cluster sizes for m=%d", len(p.Sizes), p.M)
+		}
+		total := 0
+		for j, s := range p.Sizes {
+			if s <= 0 {
+				return fmt.Errorf("qp: cluster %d has non-positive size %d", j, s)
+			}
+			total += s
+		}
+		if total != p.N {
+			return fmt.Errorf("qp: cluster sizes sum to %d for n=%d", total, p.N)
+		}
+	} else if p.N%p.M != 0 {
 		return fmt.Errorf("qp: n=%d not divisible by m=%d", p.N, p.M)
 	}
 	if len(p.Util) != p.N {
@@ -66,8 +84,18 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
-// ClusterSize returns n/m, the mandated size of every cluster.
+// ClusterSize returns n/m, the mandated size of every cluster in the
+// classic equal split.
 func (p *Problem) ClusterSize() int { return p.N / p.M }
+
+// SizeOf returns the mandated size of cluster j, honoring an unequal
+// Sizes prescription when present.
+func (p *Problem) SizeOf(j int) int {
+	if p.Sizes != nil {
+		return p.Sizes[j]
+	}
+	return p.ClusterSize()
+}
 
 // PhiComm implements Eq. 2: the normalized inter-cluster communication cost
 // function.
@@ -160,7 +188,6 @@ func BranchAndBound(p *Problem, maxNodes int) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	cap := p.ClusterSize()
 	assign := make([]int, p.N)
 	for i := range assign {
 		assign[i] = -1
@@ -189,7 +216,7 @@ func BranchAndBound(p *Problem, maxNodes int) (Solution, error) {
 			return nil
 		}
 		for j := 0; j < p.M; j++ {
-			if counts[j] == cap {
+			if counts[j] == p.SizeOf(j) {
 				continue
 			}
 			inc := p.utilCost(i, j)
@@ -236,9 +263,13 @@ func GreedySeed(p *Problem) []int {
 		}
 	}
 	assign := make([]int, p.N)
-	size := p.ClusterSize()
-	for rank, core := range idx {
-		assign[core] = rank / size
+	j, left := 0, p.SizeOf(0)
+	for _, core := range idx {
+		assign[core] = j
+		if left--; left == 0 && j+1 < p.M {
+			j++
+			left = p.SizeOf(j)
+		}
 	}
 	return assign
 }

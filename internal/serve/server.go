@@ -52,15 +52,21 @@ type Options struct {
 	// Base is the platform configuration requests override; the zero
 	// value means the paper's DefaultConfig.
 	Base expt.Config
+	// MaxSweepScenarios bounds how many scenarios one /v1/sweep request
+	// may expand to (default DefaultMaxSweepScenarios); larger studies
+	// belong on the wivfisweep CLI with a journal.
+	MaxSweepScenarios int
 }
 
 // Server handles design requests. Create with NewServer; safe for
 // concurrent use.
 type Server struct {
-	maxInFlight int
-	cacheDir    string
-	base        expt.Config
-	pool        *sim.Pool
+	maxInFlight       int
+	maxSweepScenarios int
+	parallelism       int
+	cacheDir          string
+	base              expt.Config
+	pool              *sim.Pool
 
 	mu          sync.Mutex
 	inflight    int
@@ -86,12 +92,17 @@ func NewServer(opts Options) *Server {
 	if opts.Base.Build.Chip.NumCores() == 0 {
 		opts.Base = expt.DefaultConfig()
 	}
+	if opts.MaxSweepScenarios <= 0 {
+		opts.MaxSweepScenarios = DefaultMaxSweepScenarios
+	}
 	return &Server{
-		maxInFlight: opts.MaxInFlight,
-		cacheDir:    opts.CacheDir,
-		base:        opts.Base,
-		pool:        sim.NewPool(opts.Parallelism),
-		flights:     map[string]*flight{},
+		maxInFlight:       opts.MaxInFlight,
+		maxSweepScenarios: opts.MaxSweepScenarios,
+		parallelism:       opts.Parallelism,
+		cacheDir:          opts.CacheDir,
+		base:              opts.Base,
+		pool:              sim.NewPool(opts.Parallelism),
+		flights:           map[string]*flight{},
 	}
 }
 
@@ -105,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/apps", s.handleApps)
 	mux.HandleFunc("/v1/design", s.handleDesign)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	return mux
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"wivfi/internal/governor"
 	"wivfi/internal/obs"
+	"wivfi/internal/sweep"
 )
 
 // EventSchemaVersion is stamped into every streamed event; bump it when
@@ -75,6 +76,13 @@ type Event struct {
 	Decision *governor.Decision `json:"decision,omitempty"`
 	Result   *Result            `json:"result,omitempty"`
 	Error    string             `json:"error,omitempty"`
+	// Done/Total carry sweep progress on EventSweepScenario and the
+	// "sweep" EventPhase; SweepRecord is the finished scenario's journal
+	// record; Atlas is the aggregate on EventSweepResult.
+	Done        int           `json:"done,omitempty"`
+	Total       int           `json:"total,omitempty"`
+	SweepRecord *sweep.Record `json:"sweep_record,omitempty"`
+	Atlas       *sweep.Atlas  `json:"atlas,omitempty"`
 }
 
 // eventSink writes one event to the client in the negotiated framing.

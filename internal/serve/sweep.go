@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wivfi/internal/obs"
+	"wivfi/internal/sweep"
+)
+
+// Sweep metric names. Declared constants (enforced by wivfi-lint
+// countersafe) like the request metrics above.
+const (
+	// MetricSweeps counts sweep requests admitted past admission control.
+	MetricSweeps = "serve.sweeps"
+	// MetricSweepScenarios counts scenarios executed on behalf of sweep
+	// requests (the sweep.* counters classify their outcomes).
+	MetricSweepScenarios = "serve.sweep_scenarios"
+)
+
+var (
+	sweepCounter         = obs.NewCounter(MetricSweeps)
+	sweepScenarioCounter = obs.NewCounter(MetricSweepScenarios)
+)
+
+// Sweep event names, extending the design-request vocabulary. Consumers
+// treat unknown names as forward-compatible extensions.
+const (
+	// EventSweepScenario: one scenario finished (or was replayed from a
+	// journal); carries the full record plus done/total progress.
+	EventSweepScenario = "sweep-scenario"
+	// EventSweepResult: the terminal success event of a sweep request;
+	// carries the aggregate atlas.
+	EventSweepResult = "sweep-result"
+)
+
+// DefaultMaxSweepScenarios bounds the grid a single service request may
+// expand to; larger studies belong on the wivfisweep CLI with a journal.
+const DefaultMaxSweepScenarios = 256
+
+// handleSweep runs a parametric scenario sweep and streams per-scenario
+// progress live. The request body is a sweep spec document (the same
+// schema the wivfisweep CLI reads); ?stream=ndjson switches framing from
+// the default SSE. Sweeps are journal-less in the service — resumability
+// lives in the CLI — but they share the design cache and the scenario
+// keyspace, so repeated sweeps still dedup the expensive design work.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep spec: %w", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scenarios, _, err := spec.Generate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := s.maxSweepScenarios
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("max must be a positive integer, got %q", v))
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	if len(scenarios) > limit {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"spec expands to %d scenarios, above this service's %d-scenario bound; shrink the grid, set sample, or run wivfisweep with a journal", len(scenarios), limit))
+		return
+	}
+
+	if !s.enter() {
+		rejectCounter.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("at capacity or draining, retry later"))
+		return
+	}
+	defer s.leave()
+	sweepCounter.Add(1)
+	id := fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-ID", id)
+	start := time.Now() //lint:wallclock request latency feeds stream events and /metrics only
+	var em *emitter
+	if r.URL.Query().Get("stream") == string(StreamNDJSON) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		em = &emitter{id: id, sink: ndjsonSink{w}}
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		em = &emitter{id: id, sink: sseSink{w}}
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	em.emit(Event{Event: EventAccepted, Key: spec.Name, Done: 0, Total: len(scenarios)})
+
+	res, err := sweep.Run(&spec, sweep.Options{
+		CacheDir:    s.cacheDir,
+		Parallelism: s.parallelism,
+		OnRecord: func(rec sweep.Record, resumed bool) {
+			sweepScenarioCounter.Add(1)
+			em.emit(Event{Event: EventSweepScenario, Key: rec.Key, SweepRecord: &rec})
+		},
+		OnProgress: func(done, total int) {
+			em.emit(Event{Event: EventPhase, Phase: "sweep", State: "progress", Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		errorCounter.Add(1)
+		em.emit(Event{Event: EventError, Key: spec.Name, Error: err.Error(), ElapsedMS: msSince(start)})
+		return
+	}
+	em.emit(Event{
+		Event: EventSweepResult, Key: spec.Name,
+		Done: res.Completed + res.Resumed, Total: res.Planned,
+		Atlas: res.Atlas, ElapsedMS: msSince(start),
+	})
+}

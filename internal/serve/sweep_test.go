@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wivfi/internal/sweep"
+)
+
+// postSweep submits one sweep spec to the streaming endpoint.
+func postSweep(t *testing.T, baseURL, query string, spec sweep.Spec) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/sweep"+query, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSweepEndpointStreamsScenariosAndAtlas(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := sweep.Spec{
+		Name:   "svc-test",
+		Meshes: []string{"4x4"},
+		Apps:   []string{"mm", "hist"},
+	}
+	resp := postSweep(t, ts.URL, "?stream=ndjson", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body(t, resp))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []Event
+	for _, line := range strings.Split(strings.TrimSpace(body(t, resp)), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if events[0].Event != EventAccepted || events[0].Total != 2 {
+		t.Fatalf("first event %+v", events[0])
+	}
+	var scenarios, results int
+	var last Event
+	for _, ev := range events {
+		switch ev.Event {
+		case EventSweepScenario:
+			scenarios++
+			if ev.SweepRecord == nil || ev.SweepRecord.Error != "" {
+				t.Errorf("scenario event without clean record: %+v", ev)
+			}
+		case EventSweepResult:
+			results++
+			last = ev
+		}
+	}
+	if scenarios != 2 || results != 1 {
+		t.Fatalf("got %d scenario events, %d result events", scenarios, results)
+	}
+	if last.Atlas == nil || last.Atlas.Scenarios != 2 || last.Atlas.Errors != 0 {
+		t.Fatalf("terminal atlas: %+v", last.Atlas)
+	}
+	if last.Done != 2 || last.Total != 2 {
+		t.Fatalf("terminal progress %d/%d", last.Done, last.Total)
+	}
+}
+
+func TestSweepEndpointSSEFraming(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := sweep.Spec{Meshes: []string{"4x4"}, Apps: []string{"mm"}}
+	resp := postSweep(t, ts.URL, "", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body(t, resp))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw := body(t, resp)
+	if !strings.Contains(raw, "event: "+EventSweepResult+"\ndata: ") {
+		t.Fatalf("SSE stream missing terminal frame:\n%s", raw)
+	}
+}
+
+func TestSweepEndpointRejectsOversizedGrid(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxSweepScenarios: 1})
+	spec := sweep.Spec{Meshes: []string{"4x4"}, Apps: []string{"mm", "hist"}}
+	resp := postSweep(t, ts.URL, "", spec)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body(t, resp))
+	}
+	if got := body(t, resp); !strings.Contains(got, "scenario bound") {
+		t.Fatalf("error body %q", got)
+	}
+	// bad specs and bad methods are rejected up front too
+	resp = postSweep(t, ts.URL, "", sweep.Spec{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty spec status = %d", resp.StatusCode)
+	}
+	body(t, resp)
+	getResp, err := http.Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", getResp.StatusCode)
+	}
+	body(t, getResp)
+}

@@ -92,6 +92,9 @@ func NVFIMesh(cfg BuildConfig) (*System, error) {
 // measured traffic.
 func NVFIMeshMapped(cfg BuildConfig, traffic [][]float64) (*System, error) {
 	n := cfg.Chip.NumCores()
+	if n%4 != 0 {
+		return nil, fmt.Errorf("sim: %d cores not divisible into the baseline's 4 contiguous thread groups", n)
+	}
 	assign := make([]int, n)
 	for th := range assign {
 		assign[th] = th / (n / 4)
@@ -124,8 +127,8 @@ func NVFIMeshMapped(cfg BuildConfig, traffic [][]float64) (*System, error) {
 // are mapped into quadrant j (min-distance mapping) and the modified
 // stealing policy applies.
 func VFIMesh(cfg BuildConfig, vfi platform.VFIConfig, traffic [][]float64) (*System, error) {
-	if len(vfi.Points) != 4 {
-		return nil, fmt.Errorf("sim: VFI mesh expects 4 islands, got %d", len(vfi.Points))
+	if err := vfi.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: VFI mesh config: %w", err)
 	}
 	mapping, err := place.MapThreadsMinDistance(cfg.Chip, vfi.Assign, traffic, cfg.Place.Seed, cfg.Place.MappingSweeps)
 	if err != nil {
@@ -156,8 +159,8 @@ func VFIMesh(cfg BuildConfig, vfi platform.VFIConfig, traffic [][]float64) (*Sys
 // mapping and WI placement per the chosen strategy, up*/down* routing and
 // the modified stealing policy.
 func VFIWiNoC(cfg BuildConfig, vfi platform.VFIConfig, traffic [][]float64, strategy Strategy) (*System, error) {
-	if len(vfi.Points) != 4 {
-		return nil, fmt.Errorf("sim: VFI WiNoC expects 4 islands, got %d", len(vfi.Points))
+	if err := vfi.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: VFI WiNoC config: %w", err)
 	}
 	opts := cfg.Place
 	opts.SmallWorld = cfg.SmallWorld

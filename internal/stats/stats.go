@@ -130,6 +130,32 @@ func QuartileMeans(xs []float64, m int) []float64 {
 	return means
 }
 
+// GroupMeansBySizes generalizes QuartileMeans to unequal groups: xs is
+// sorted ascending and dealt into consecutive runs of the given sizes;
+// the mean of each run is returned, lowest group first. The sizes must be
+// positive and sum to len(xs).
+func GroupMeansBySizes(xs []float64, sizes []int) []float64 {
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("stats: non-positive group size %d", s))
+		}
+		total += s
+	}
+	if total != len(xs) {
+		panic(fmt.Sprintf("stats: group sizes sum to %d for %d values", total, len(xs)))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	means := make([]float64, len(sizes))
+	at := 0
+	for j, sz := range sizes {
+		means[j] = Mean(s[at : at+sz])
+		at += sz
+	}
+	return means
+}
+
 // NormalizeMax divides every element of xs by the maximum element and
 // returns the result as a new slice. If the maximum is zero the input is
 // returned copied unchanged (an all-zero vector stays all-zero). The paper

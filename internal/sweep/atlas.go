@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AtlasSchemaVersion is the atlas document schema.
+const AtlasSchemaVersion = 1
+
+// Atlas is the aggregate view of a sweep: the EDP-vs-cores Pareto
+// frontier, per-axis sensitivity tables and the analytic-fidelity outlier
+// list. It is a pure function of the deterministic record fields (sorted
+// by key) — never of cache outcomes or wall times — so any two journals
+// covering the same scenarios produce byte-identical atlases, regardless
+// of parallelism, interruption or cache state.
+type Atlas struct {
+	Schema    int     `json:"schema"`
+	Name      string  `json:"name"`
+	Tolerance float64 `json:"tolerance"`
+	// Scenarios counts the aggregated records; Errors the failed subset
+	// (excluded from every table below).
+	Scenarios int `json:"scenarios"`
+	Errors    int `json:"errors"`
+	// Pareto is the frontier of scenarios unbeaten on (cores, EDP): no
+	// other successful scenario has both fewer-or-equal cores and
+	// lower-or-equal absolute EDP. Sorted by cores then EDP.
+	Pareto []ParetoPoint `json:"pareto"`
+	// Axes holds one sensitivity table per swept axis with >= 2 values.
+	Axes []AxisTable `json:"axes"`
+	// Outliers lists successful scenarios whose DES latency deviated from
+	// the analytic model beyond Tolerance. Sorted by key.
+	Outliers []Outlier `json:"outliers"`
+	// FailedKeys lists errored scenario keys. Sorted.
+	FailedKeys []string `json:"failed_keys,omitempty"`
+}
+
+// ParetoPoint is one frontier scenario.
+type ParetoPoint struct {
+	Key      string  `json:"key"`
+	Label    string  `json:"label"`
+	Cores    int     `json:"cores"`
+	Islands  int     `json:"islands"`
+	EDP      float64 `json:"edp"`
+	EDPRatio float64 `json:"edp_ratio"`
+}
+
+// AxisTable is the sensitivity of EDP ratio to one sweep axis.
+type AxisTable struct {
+	Axis string     `json:"axis"`
+	Rows []AxisStat `json:"rows"`
+}
+
+// AxisStat aggregates the scenarios sharing one axis value.
+type AxisStat struct {
+	Value string  `json:"value"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_edp_ratio"`
+	Min   float64 `json:"min_edp_ratio"`
+	Max   float64 `json:"max_edp_ratio"`
+}
+
+// Outlier is one analytic-fidelity miss.
+type Outlier struct {
+	Key       string  `json:"key"`
+	Label     string  `json:"label"`
+	Analytic  float64 `json:"analytic_latency_cycles"`
+	DES       float64 `json:"des_latency_cycles"`
+	Deviation float64 `json:"deviation"`
+}
+
+// recScenario reconstructs the scenario identity of a record (for labels).
+func recScenario(r Record) Scenario {
+	return Scenario{
+		Rows: r.Rows, Cols: r.Cols, Islands: r.Islands, Sizes: r.Sizes,
+		App: r.App, Margin: r.Margin, Policy: r.Policy, CapW: r.CapW, Tier: r.Tier,
+	}
+}
+
+// BuildAtlas aggregates records into the atlas. Records are re-sorted by
+// key internally, so caller ordering never leaks into the output.
+func BuildAtlas(name string, records []Record, tolerance float64) *Atlas {
+	recs := append([]Record(nil), records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	a := &Atlas{Schema: AtlasSchemaVersion, Name: name, Tolerance: tolerance, Scenarios: len(recs)}
+	var ok []Record
+	for _, r := range recs {
+		if r.Error != "" {
+			a.Errors++
+			a.FailedKeys = append(a.FailedKeys, r.Key)
+			continue
+		}
+		ok = append(ok, r)
+	}
+
+	// Pareto frontier on (cores, absolute EDP), minimizing both.
+	for _, r := range ok {
+		dominated := false
+		for _, q := range ok {
+			if q.Key == r.Key {
+				continue
+			}
+			qc, rc := q.Rows*q.Cols, r.Rows*r.Cols
+			if qc <= rc && q.EDP <= r.EDP && (qc < rc || q.EDP < r.EDP) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			a.Pareto = append(a.Pareto, ParetoPoint{
+				Key: r.Key, Label: recScenario(r).Label(),
+				Cores: r.Rows * r.Cols, Islands: r.Islands,
+				EDP: r.EDP, EDPRatio: r.EDPRatio,
+			})
+		}
+	}
+	sort.Slice(a.Pareto, func(i, j int) bool {
+		if a.Pareto[i].Cores != a.Pareto[j].Cores {
+			return a.Pareto[i].Cores < a.Pareto[j].Cores
+		}
+		if a.Pareto[i].EDP != a.Pareto[j].EDP {
+			return a.Pareto[i].EDP < a.Pareto[j].EDP
+		}
+		return a.Pareto[i].Key < a.Pareto[j].Key
+	})
+
+	// Per-axis sensitivity of the EDP ratio.
+	axes := []struct {
+		name  string
+		value func(Record) string
+	}{
+		{"mesh", func(r Record) string { return fmt.Sprintf("%dx%d", r.Rows, r.Cols) }},
+		{"islands", func(r Record) string {
+			if len(r.Sizes) > 0 {
+				parts := make([]string, len(r.Sizes))
+				for i, s := range r.Sizes {
+					parts[i] = fmt.Sprint(s)
+				}
+				return fmt.Sprintf("%d[%s]", r.Islands, strings.Join(parts, "+"))
+			}
+			return fmt.Sprint(r.Islands)
+		}},
+		{"app", func(r Record) string { return r.App }},
+		{"margin", func(r Record) string { return fmt.Sprintf("%g", r.Margin) }},
+		{"policy", func(r Record) string { return r.Policy }},
+		{"tier", func(r Record) string { return r.Tier }},
+	}
+	for _, ax := range axes {
+		groups := map[string][]float64{}
+		for _, r := range ok {
+			v := ax.value(r)
+			groups[v] = append(groups[v], r.EDPRatio)
+		}
+		if len(groups) < 2 {
+			continue // unswept axis: no sensitivity to report
+		}
+		values := make([]string, 0, len(groups))
+		for v := range groups {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		table := AxisTable{Axis: ax.name}
+		for _, v := range values {
+			xs := groups[v]
+			st := AxisStat{Value: v, Count: len(xs), Min: xs[0], Max: xs[0]}
+			sum := 0.0
+			for _, x := range xs {
+				sum += x
+				if x < st.Min {
+					st.Min = x
+				}
+				if x > st.Max {
+					st.Max = x
+				}
+			}
+			st.Mean = sum / float64(len(xs))
+			table.Rows = append(table.Rows, st)
+		}
+		a.Axes = append(a.Axes, table)
+	}
+
+	for _, r := range ok {
+		if r.DESDeviation > tolerance {
+			a.Outliers = append(a.Outliers, Outlier{
+				Key: r.Key, Label: recScenario(r).Label(),
+				Analytic: r.AnalyticLatencyCycles, DES: r.DESLatencyCycles,
+				Deviation: r.DESDeviation,
+			})
+		}
+	}
+	return a
+}
+
+// Format renders the atlas as the stable human-readable report: the same
+// bytes for the same records, independent of how they were gathered.
+func (a *Atlas) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep atlas: %s (%d scenarios, %d errors)\n", a.Name, a.Scenarios, a.Errors)
+	fmt.Fprintf(&b, "  Pareto frontier (cores vs EDP, %d points):\n", len(a.Pareto))
+	b.WriteString("    cores  islands  EDP J*s       vs-base  scenario\n")
+	for _, p := range a.Pareto {
+		fmt.Fprintf(&b, "    %5d  %7d  %11.5g  %7.3f  %s\n", p.Cores, p.Islands, p.EDP, p.EDPRatio, p.Label)
+	}
+	for _, ax := range a.Axes {
+		fmt.Fprintf(&b, "  Sensitivity: %s (EDP ratio vs baseline)\n", ax.Axis)
+		b.WriteString("    value        n     mean     min     max\n")
+		for _, r := range ax.Rows {
+			fmt.Fprintf(&b, "    %-10s %4d  %7.3f %7.3f %7.3f\n", r.Value, r.Count, r.Mean, r.Min, r.Max)
+		}
+	}
+	fmt.Fprintf(&b, "  Analytic fidelity: %d outliers above %.0f%% deviation\n", len(a.Outliers), 100*a.Tolerance)
+	for _, o := range a.Outliers {
+		fmt.Fprintf(&b, "    %-40s analytic %.1f vs DES %.1f cycles (%.1f%%)\n", o.Label, o.Analytic, o.DES, 100*o.Deviation)
+	}
+	if len(a.FailedKeys) > 0 {
+		fmt.Fprintf(&b, "  Failed scenarios: %d\n", len(a.FailedKeys))
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package sweep
+
+import "wivfi/internal/obs"
+
+// Metric names registered below. Declared constants (enforced by
+// wivfi-lint countersafe) so dashboards, tests and the debug mux all share
+// one authoritative spelling.
+const (
+	// MetricScenariosPlanned counts scenarios emitted by spec expansion
+	// (after feasibility filtering and key dedup).
+	MetricScenariosPlanned = "sweep.scenarios_planned"
+	// MetricScenariosCompleted counts scenarios finished this process,
+	// successfully or not (errors count: the journal records them too).
+	MetricScenariosCompleted = "sweep.scenarios_completed"
+	// MetricScenariosSkipped counts scenarios skipped because the resume
+	// journal already held their record.
+	MetricScenariosSkipped = "sweep.scenarios_skipped_resume"
+	// MetricScenarioErrors counts scenarios that finished with an error.
+	MetricScenarioErrors = "sweep.scenario_errors"
+	// MetricOutliers counts completed scenarios whose DES latency deviated
+	// from the analytic model beyond the spec tolerance.
+	MetricOutliers = "sweep.outliers"
+	// MetricInFlight gauges scenarios currently executing; its Max is the
+	// realized concurrency.
+	MetricInFlight = "sweep.in_flight"
+)
+
+var (
+	plannedCounter   = obs.NewCounter(MetricScenariosPlanned)
+	completedCounter = obs.NewCounter(MetricScenariosCompleted)
+	skippedCounter   = obs.NewCounter(MetricScenariosSkipped)
+	errorCounter     = obs.NewCounter(MetricScenarioErrors)
+	outlierCounter   = obs.NewCounter(MetricOutliers)
+	inFlightGauge    = obs.NewGauge(MetricInFlight)
+)

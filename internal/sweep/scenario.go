@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"wivfi/internal/expt"
+	"wivfi/internal/topo"
+)
+
+// Tier names for Spec.Tier / Scenario.Tier.
+const (
+	// TierMesh runs the mapped NVFI mesh baseline plus the static or
+	// governed VFI mesh system.
+	TierMesh = "mesh"
+	// TierWiNoC additionally runs the max-wireless WiNoC system.
+	TierWiNoC = "winoc"
+)
+
+// Scenario is one fully resolved grid point: a platform shape, a design
+// configuration and an execution mode. Scenarios are plain values —
+// comparable by Key — and carry everything needed to run independently.
+type Scenario struct {
+	Rows, Cols int
+	// Islands is the VFI count m; Sizes optionally prescribes unequal
+	// island sizes (nil = the equal n/m split, which shares design-cache
+	// entries with the figure suite on the default platform).
+	Islands int
+	Sizes   []int
+	App     string
+	// Margin is the V/F-selection utilization headroom.
+	Margin float64
+	// Policy is "none" (static plan, plain VFI mesh run) or a governor
+	// policy name ("static", "util", "cap"); CapW applies to "cap" only.
+	Policy string
+	CapW   float64
+	Tier   string
+}
+
+// Cores returns the platform core count.
+func (sc Scenario) Cores() int { return sc.Rows * sc.Cols }
+
+// Config resolves the scenario into the experiment configuration that
+// scopes its design-cache entry. All non-default fields use their
+// json-omitempty zero-value conventions, so a default-shaped scenario
+// (8x8, 4 equal islands, margin 0.35) hashes to the exact config the
+// figure suite uses and shares its cache entries.
+func (sc Scenario) Config() expt.Config {
+	cfg := expt.DefaultConfig()
+	cfg.Build.Chip.Rows = sc.Rows
+	cfg.Build.Chip.Cols = sc.Cols
+	cfg.VFI.NumIslands = sc.Islands
+	if len(sc.Sizes) > 0 {
+		cfg.VFI.IslandSizes = append([]int(nil), sc.Sizes...)
+	}
+	cfg.VFI.FreqMargin = sc.Margin
+	return cfg
+}
+
+// Key returns the scenario's identity: expt.RequestKey over its config and
+// app, salted with the execution-mode dimensions the design cache does not
+// know about (governor policy/cap, simulation tier). It doubles as the
+// journal resume key and the design-cache correlation handle; scenarios
+// with equal keys are byte-identical to run.
+func (sc Scenario) Key() string {
+	return expt.RequestKey(sc.Config(), sc.App, sc.keyExtras()...)
+}
+
+// keyExtras mirrors the serving layer's convention: no extras for the
+// plain static path, "policy=…" (+ "cap=…") for governed modes, "tier=…"
+// for non-default tiers.
+func (sc Scenario) keyExtras() []string {
+	var extras []string
+	if sc.Policy != "" && sc.Policy != "none" {
+		extras = append(extras, "policy="+sc.Policy)
+		if sc.Policy == "cap" {
+			extras = append(extras, fmt.Sprintf("cap=%g", sc.CapW))
+		}
+	}
+	if sc.Tier != "" && sc.Tier != TierMesh {
+		extras = append(extras, "tier="+sc.Tier)
+	}
+	return extras
+}
+
+// Label renders a compact human-readable identifier for logs and events,
+// e.g. "8x8/4i/wc/m0.35", "6x6/2i[12+24]/pca/m0.25/util", with "/winoc"
+// appended on the wireless tier.
+func (sc Scenario) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d/%di", sc.Rows, sc.Cols, sc.Islands)
+	if len(sc.Sizes) > 0 {
+		parts := make([]string, len(sc.Sizes))
+		for i, s := range sc.Sizes {
+			parts[i] = fmt.Sprint(s)
+		}
+		fmt.Fprintf(&b, "[%s]", strings.Join(parts, "+"))
+	}
+	fmt.Fprintf(&b, "/%s/m%g", sc.App, sc.Margin)
+	if sc.Policy != "" && sc.Policy != "none" {
+		fmt.Fprintf(&b, "/%s", sc.Policy)
+	}
+	if sc.Tier == TierWiNoC {
+		b.WriteString("/winoc")
+	}
+	return b.String()
+}
+
+// infeasible returns a non-empty reason when the scenario cannot run on
+// this platform model: workload shapes the apps model rejects, island
+// geometries too small for wireless interfaces. Generate drops these grid
+// points silently (counted); Run reports the reason for hand-written
+// scenarios.
+func (sc Scenario) infeasible() string {
+	n := sc.Cores()
+	if n%4 != 0 {
+		return fmt.Sprintf("%d cores not divisible into the workload model's 4 utilization groups", n)
+	}
+	if len(sc.Sizes) == 0 && n%sc.Islands != 0 {
+		return fmt.Sprintf("%d cores not divisible into %d equal islands", n, sc.Islands)
+	}
+	if sc.Tier == TierWiNoC {
+		if sc.Islands < 2 {
+			return "winoc tier needs at least 2 islands (small-world clusters)"
+		}
+		min := n / sc.Islands
+		for _, s := range sc.Sizes {
+			if s < min {
+				min = s
+			}
+		}
+		if min < topo.WIsPerCluster {
+			return fmt.Sprintf("winoc tier needs every island to hold >= %d tiles for its wireless interfaces, smallest has %d", topo.WIsPerCluster, min)
+		}
+	}
+	return ""
+}

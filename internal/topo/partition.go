@@ -1,0 +1,201 @@
+package topo
+
+import (
+	"fmt"
+
+	"wivfi/internal/platform"
+)
+
+// This file generalizes the hardcoded 8x8/four-quadrant island geometry to
+// arbitrary mesh sizes and (possibly unequal) island splits. A partition
+// assigns every tile to exactly one physically contiguous region; region j
+// realizes VFI island j. Two constructions are used:
+//
+//   - grid blocks, when every island has the same size and the chip grid
+//     decomposes into an r x c arrangement of equal rectangular blocks.
+//     Blocks are numbered row-major over the block grid, which reproduces
+//     Quadrants exactly for four equal islands on even grids (0 top-left,
+//     1 top-right, 2 bottom-left, 3 bottom-right) — the paper's layout;
+//   - snake slicing otherwise: tiles are visited in boustrophedon order
+//     (row 0 left-to-right, row 1 right-to-left, ...) and dealt to regions
+//     in consecutive runs of the requested sizes, so every region is a
+//     contiguous band even when sizes are unequal or do not tile the grid.
+//
+// All entry points validate and return errors — never panic — so callers
+// exploring generated platform configurations get descriptive diagnostics
+// for infeasible specs.
+
+// ValidateChip checks that the chip grid can host a partitioned platform.
+func ValidateChip(chip platform.Chip) error {
+	if chip.Rows <= 0 || chip.Cols <= 0 {
+		return fmt.Errorf("topo: chip needs positive dimensions, got %dx%d", chip.Rows, chip.Cols)
+	}
+	return nil
+}
+
+// Partition splits the chip's tiles into len(sizes) physically contiguous
+// regions where region j holds exactly sizes[j] tiles. Equal sizes on a
+// block-decomposable grid use the grid-block construction (region j is a
+// rectangle); any other feasible spec falls back to snake slicing. The
+// tile ids inside each region are in row-major scan order for grid blocks
+// and in snake order otherwise.
+func Partition(chip platform.Chip, sizes []int) ([][]int, error) {
+	if err := ValidateChip(chip); err != nil {
+		return nil, err
+	}
+	m := len(sizes)
+	if m == 0 {
+		return nil, fmt.Errorf("topo: partition needs at least one region")
+	}
+	total := 0
+	equal := true
+	for j, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("topo: region %d has non-positive size %d", j, s)
+		}
+		if s != sizes[0] {
+			equal = false
+		}
+		total += s
+	}
+	if total != chip.NumCores() {
+		return nil, fmt.Errorf("topo: region sizes sum to %d tiles, chip has %d", total, chip.NumCores())
+	}
+	if equal {
+		if gr, gc, ok := blockGrid(chip, m); ok {
+			return blockPartition(chip, gr, gc), nil
+		}
+	}
+	return snakePartition(chip, sizes), nil
+}
+
+// EqualPartition splits the chip into m equal contiguous regions, erroring
+// when the tile count is not divisible by m.
+func EqualPartition(chip platform.Chip, m int) ([][]int, error) {
+	if err := ValidateChip(chip); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("topo: need a positive region count, got %d", m)
+	}
+	n := chip.NumCores()
+	if n%m != 0 {
+		return nil, fmt.Errorf("topo: %d tiles not divisible into %d equal regions", n, m)
+	}
+	sizes := make([]int, m)
+	for j := range sizes {
+		sizes[j] = n / m
+	}
+	return Partition(chip, sizes)
+}
+
+// blockGrid searches for a gr x gc decomposition of the chip into m equal
+// rectangular blocks, preferring the most square block shape. Returns
+// ok=false when no factorization of m tiles the grid.
+func blockGrid(chip platform.Chip, m int) (gr, gc int, ok bool) {
+	bestScore := 1 << 30
+	for r := 1; r <= m; r++ {
+		if m%r != 0 {
+			continue
+		}
+		c := m / r
+		if chip.Rows%r != 0 || chip.Cols%c != 0 {
+			continue
+		}
+		h, w := chip.Rows/r, chip.Cols/c
+		score := h - w
+		if score < 0 {
+			score = -score
+		}
+		if score < bestScore {
+			bestScore, gr, gc, ok = score, r, c, true
+		}
+	}
+	return gr, gc, ok
+}
+
+// blockPartition lays out m = gr*gc equal rectangular regions, numbered
+// row-major over the block grid, tiles row-major within each block.
+func blockPartition(chip platform.Chip, gr, gc int) [][]int {
+	h, w := chip.Rows/gr, chip.Cols/gc
+	regions := make([][]int, gr*gc)
+	for br := 0; br < gr; br++ {
+		for bc := 0; bc < gc; bc++ {
+			idx := br*gc + bc
+			tiles := make([]int, 0, h*w)
+			for r := br * h; r < (br+1)*h; r++ {
+				for c := bc * w; c < (bc+1)*w; c++ {
+					tiles = append(tiles, chip.ID(r, c))
+				}
+			}
+			regions[idx] = tiles
+		}
+	}
+	return regions
+}
+
+// snakePartition deals tiles in boustrophedon scan order into consecutive
+// runs of the requested sizes, guaranteeing contiguous regions.
+func snakePartition(chip platform.Chip, sizes []int) [][]int {
+	order := make([]int, 0, chip.NumCores())
+	for r := 0; r < chip.Rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < chip.Cols; c++ {
+				order = append(order, chip.ID(r, c))
+			}
+		} else {
+			for c := chip.Cols - 1; c >= 0; c-- {
+				order = append(order, chip.ID(r, c))
+			}
+		}
+	}
+	regions := make([][]int, len(sizes))
+	at := 0
+	for j, s := range sizes {
+		regions[j] = append([]int(nil), order[at:at+s]...)
+		at += s
+	}
+	return regions
+}
+
+// RegionOf inverts a partition: out[tile] = index of the region holding it.
+func RegionOf(n int, regions [][]int) []int {
+	out := make([]int, n)
+	for q, tiles := range regions {
+		for _, id := range tiles {
+			out[id] = q
+		}
+	}
+	return out
+}
+
+// PartitionForAssign derives the region sizes from a core->island
+// assignment (island j gets as many tiles as it has cores) and partitions
+// the chip accordingly, so thread mapping can follow any clustering the
+// design flow produces. Islands must be labeled 0..m-1 with every label
+// present.
+func PartitionForAssign(chip platform.Chip, assign []int) ([][]int, error) {
+	if len(assign) != chip.NumCores() {
+		return nil, fmt.Errorf("topo: %d assignments for %d tiles", len(assign), chip.NumCores())
+	}
+	m := 0
+	for _, isl := range assign {
+		if isl < 0 {
+			return nil, fmt.Errorf("topo: negative island index %d", isl)
+		}
+		if isl+1 > m {
+			m = isl + 1
+		}
+	}
+	sizes := make([]int, m)
+	for _, isl := range assign {
+		sizes[isl]++
+	}
+	for j, s := range sizes {
+		if s == 0 {
+			return nil, fmt.Errorf("topo: island %d is empty", j)
+		}
+		_ = s
+	}
+	return Partition(chip, sizes)
+}

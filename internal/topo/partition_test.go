@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"wivfi/internal/platform"
+)
+
+func chip(rows, cols int) platform.Chip {
+	return platform.Chip{Rows: rows, Cols: cols, TileMM: 2.5}
+}
+
+// checkPartition asserts the structural invariants every partition must
+// satisfy: exact region sizes, every tile assigned exactly once, and
+// physical contiguity of each region under mesh adjacency.
+func checkPartition(t *testing.T, c platform.Chip, sizes []int, regions [][]int) {
+	t.Helper()
+	if len(regions) != len(sizes) {
+		t.Fatalf("got %d regions, want %d", len(regions), len(sizes))
+	}
+	seen := make([]bool, c.NumCores())
+	for j, tiles := range regions {
+		if len(tiles) != sizes[j] {
+			t.Errorf("region %d has %d tiles, want %d", j, len(tiles), sizes[j])
+		}
+		for _, id := range tiles {
+			if id < 0 || id >= c.NumCores() {
+				t.Fatalf("region %d holds out-of-range tile %d", j, id)
+			}
+			if seen[id] {
+				t.Fatalf("tile %d assigned twice", id)
+			}
+			seen[id] = true
+		}
+		if !connected(c, tiles) {
+			t.Errorf("region %d is not contiguous: %v", j, tiles)
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Errorf("tile %d unassigned", id)
+		}
+	}
+}
+
+// connected reports whether the tiles form one connected component under
+// 4-neighbor mesh adjacency.
+func connected(c platform.Chip, tiles []int) bool {
+	if len(tiles) == 0 {
+		return false
+	}
+	in := map[int]bool{}
+	for _, id := range tiles {
+		in[id] = true
+	}
+	frontier := []int{tiles[0]}
+	visited := map[int]bool{tiles[0]: true}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		r, cc := c.Coord(id)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nr, nc := r+d[0], cc+d[1]
+			if nr < 0 || nr >= c.Rows || nc < 0 || nc >= c.Cols {
+				continue
+			}
+			nid := c.ID(nr, nc)
+			if in[nid] && !visited[nid] {
+				visited[nid] = true
+				frontier = append(frontier, nid)
+			}
+		}
+	}
+	return len(visited) == len(tiles)
+}
+
+// TestPartitionMatchesQuadrantsOnDefaults pins the compatibility contract:
+// four equal islands on the paper's 8x8 chip reproduce Quadrants exactly,
+// region for region, tile for tile.
+func TestPartitionMatchesQuadrantsOnDefaults(t *testing.T) {
+	c := chip(8, 8)
+	got, err := EqualPartition(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Quadrants(c); !reflect.DeepEqual(got, want) {
+		t.Errorf("EqualPartition(8x8, 4) = %v, want Quadrants %v", got, want)
+	}
+}
+
+func TestPartitionNonSquareAndOddGrids(t *testing.T) {
+	cases := []struct {
+		rows, cols int
+		sizes      []int
+	}{
+		{4, 6, []int{6, 6, 6, 6}},       // blocks on a non-square grid
+		{4, 4, []int{8, 8}},             // two equal halves
+		{6, 6, []int{12, 12, 12}},       // 3 does not tile 6x6 as blocks -> snake
+		{5, 5, []int{7, 9, 9}},          // odd grid, unequal sizes -> snake
+		{3, 7, []int{21}},               // single region is the whole chip
+		{12, 12, []int{16, 128}},        // tiny island next to a huge one
+		{2, 2, []int{1, 1, 1, 1}},       // minimum mesh, one tile per region
+		{8, 8, []int{16, 16, 32}},       // unequal split of the paper chip
+		{16, 16, []int{64, 64, 64, 64}}, // larger mesh, quadrant-shaped
+	}
+	for _, tc := range cases {
+		c := chip(tc.rows, tc.cols)
+		regions, err := Partition(c, tc.sizes)
+		if err != nil {
+			t.Errorf("Partition(%dx%d, %v): %v", tc.rows, tc.cols, tc.sizes, err)
+			continue
+		}
+		checkPartition(t, c, tc.sizes, regions)
+	}
+}
+
+// TestPartitionRejectsInfeasibleSpecs pins the errors-not-panics contract
+// for the specs the sweep generator can emit before its own filtering.
+func TestPartitionRejectsInfeasibleSpecs(t *testing.T) {
+	c := chip(4, 4)
+	cases := []struct {
+		name  string
+		sizes []int
+	}{
+		{"no regions", nil},
+		{"zero size", []int{0, 16}},
+		{"negative size", []int{-4, 20}},
+		{"sum too small", []int{4, 4}},
+		{"sum too large", []int{12, 12}},
+	}
+	for _, tc := range cases {
+		if _, err := Partition(c, tc.sizes); err == nil {
+			t.Errorf("%s: Partition accepted %v", tc.name, tc.sizes)
+		}
+	}
+	if _, err := Partition(chip(0, 4), []int{4}); err == nil {
+		t.Error("Partition accepted a zero-row chip")
+	}
+	if _, err := EqualPartition(chip(5, 5), 4); err == nil {
+		t.Error("EqualPartition accepted 25 tiles into 4 regions")
+	}
+	if _, err := EqualPartition(c, 0); err == nil {
+		t.Error("EqualPartition accepted zero regions")
+	}
+}
+
+func TestRegionOfInvertsPartition(t *testing.T) {
+	c := chip(6, 4)
+	sizes := []int{5, 9, 10}
+	regions, err := Partition(c, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := RegionOf(c.NumCores(), regions)
+	for j, tiles := range regions {
+		for _, id := range tiles {
+			if of[id] != j {
+				t.Errorf("RegionOf[%d] = %d, want %d", id, of[id], j)
+			}
+		}
+	}
+}
+
+func TestPartitionForAssign(t *testing.T) {
+	c := chip(4, 4)
+	assign := make([]int, 16)
+	for i := range assign {
+		assign[i] = i % 4 // 4 islands x 4 cores
+	}
+	regions, err := PartitionForAssign(c, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, c, []int{4, 4, 4, 4}, regions)
+
+	if _, err := PartitionForAssign(c, make([]int, 9)); err == nil {
+		t.Error("accepted an assignment shorter than the chip")
+	}
+	if _, err := PartitionForAssign(c, append(make([]int, 15), -1)); err == nil {
+		t.Error("accepted a negative island label")
+	}
+	gap := make([]int, 16)
+	gap[0] = 2 // labels {0, 2}: island 1 never appears
+	if _, err := PartitionForAssign(c, gap); err == nil {
+		t.Error("accepted an assignment with an empty island label")
+	}
+}

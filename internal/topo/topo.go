@@ -238,7 +238,22 @@ func MinKIntra(clusterSize int) float64 {
 }
 
 // SmallWorld builds the WiNoC wireline fabric over the chip's quadrant
-// clusters. The construction follows Section 5:
+// clusters — the paper's four-island layout. It requires even grid
+// dimensions (so quadrants exist); other island geometries go through
+// SmallWorldRegions with an explicit partition.
+func SmallWorld(chip platform.Chip, cfg SmallWorldConfig) (*Topology, error) {
+	if err := ValidateChip(chip); err != nil {
+		return nil, err
+	}
+	if chip.Rows%2 != 0 || chip.Cols%2 != 0 {
+		return nil, fmt.Errorf("topo: quadrants need even grid dimensions, chip is %dx%d", chip.Rows, chip.Cols)
+	}
+	return SmallWorldRegions(chip, Quadrants(chip), cfg)
+}
+
+// SmallWorldRegions builds the WiNoC wireline fabric over an arbitrary
+// cluster partition (one region per VFI island, regions possibly unequal).
+// The construction follows Section 5:
 //
 //  1. per cluster, a short-link-biased random spanning tree guarantees
 //     connectivity, then extra intra-cluster links are sampled from the
@@ -248,11 +263,18 @@ func MinKIntra(clusterSize int) float64 {
 //     sampled power-law;
 //
 // always respecting the per-switch k_max port cap.
-func SmallWorld(chip platform.Chip, cfg SmallWorldConfig) (*Topology, error) {
-	quads := Quadrants(chip)
-	clusterSize := len(quads[0])
-	if cfg.KIntra < MinKIntra(clusterSize) {
-		return nil, fmt.Errorf("topo: k_intra %.3f below connectivity minimum %.3f", cfg.KIntra, MinKIntra(clusterSize))
+func SmallWorldRegions(chip platform.Chip, regions [][]int, cfg SmallWorldConfig) (*Topology, error) {
+	if len(regions) < 2 {
+		return nil, fmt.Errorf("topo: small-world fabric needs at least 2 clusters, got %d", len(regions))
+	}
+	for q, tiles := range regions {
+		if len(tiles) < 2 {
+			return nil, fmt.Errorf("topo: cluster %d has %d tiles; small-world clusters need at least 2", q, len(tiles))
+		}
+		if cfg.KIntra < MinKIntra(len(tiles)) {
+			return nil, fmt.Errorf("topo: k_intra %.3f below connectivity minimum %.3f for cluster %d (%d tiles)",
+				cfg.KIntra, MinKIntra(len(tiles)), q, len(tiles))
+		}
 	}
 	if cfg.KMax < 2 {
 		return nil, fmt.Errorf("topo: k_max %d too small", cfg.KMax)
@@ -263,9 +285,9 @@ func SmallWorld(chip platform.Chip, cfg SmallWorldConfig) (*Topology, error) {
 	t := &Topology{Chip: chip, Adj: make([][]Link, chip.NumCores()), Name: "winoc-wireline", ChannelOf: map[int]int{}}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Step 1: intra-cluster networks.
-	intraLinks := int(math.Round(cfg.KIntra * float64(clusterSize) / 2))
-	for _, tiles := range quads {
+	// Step 1: intra-cluster networks, link budget proportional to size.
+	for _, tiles := range regions {
+		intraLinks := int(math.Round(cfg.KIntra * float64(len(tiles)) / 2))
 		if err := buildCluster(t, tiles, intraLinks, cfg, rng); err != nil {
 			return nil, err
 		}
@@ -273,7 +295,7 @@ func SmallWorld(chip platform.Chip, cfg SmallWorldConfig) (*Topology, error) {
 
 	// Step 2: inter-cluster links apportioned by traffic share.
 	totalInter := int(math.Round(cfg.KInter * float64(chip.NumCores()) / 2))
-	pairCounts := apportionInterLinks(cfg.InterTraffic, len(quads), totalInter)
+	pairCounts := apportionInterLinks(cfg.InterTraffic, len(regions), totalInter)
 	var pairs [][2]int
 	for pair := range pairCounts {
 		pairs = append(pairs, pair)
@@ -285,7 +307,7 @@ func SmallWorld(chip platform.Chip, cfg SmallWorldConfig) (*Topology, error) {
 		return pairs[i][1] < pairs[j][1]
 	})
 	for _, pair := range pairs {
-		if err := addInterLinks(t, quads[pair[0]], quads[pair[1]], pairCounts[pair], cfg, rng); err != nil {
+		if err := addInterLinks(t, regions[pair[0]], regions[pair[1]], pairCounts[pair], cfg, rng); err != nil {
 			return nil, err
 		}
 	}

@@ -37,6 +37,13 @@ import (
 type Options struct {
 	// NumIslands is m, the number of equal-size VFIs (paper: 4).
 	NumIslands int
+	// IslandSizes optionally prescribes unequal island sizes: island j gets
+	// exactly IslandSizes[j] cores (islands ordered by ascending target
+	// utilization). When set it must have NumIslands entries summing to the
+	// core count; nil (the default and the paper's setting) keeps the equal
+	// n/m split. The json tag keeps the zero value out of config hashes so
+	// existing design-cache keys are unchanged.
+	IslandSizes []int `json:",omitempty"`
 	// Table is the DVFS ladder to quantize onto.
 	Table []platform.OperatingPoint
 	// FreqMargin is the utilization headroom added before quantizing the
@@ -104,19 +111,41 @@ func BuildProblem(p platform.Profile, opts Options) (*qp.Problem, error) {
 		return nil, err
 	}
 	n := p.NumCores()
-	if opts.NumIslands <= 0 || n%opts.NumIslands != 0 {
-		return nil, fmt.Errorf("vfi: %d cores not divisible into %d islands", n, opts.NumIslands)
+	if opts.NumIslands <= 0 {
+		return nil, fmt.Errorf("vfi: need a positive island count, got %d", opts.NumIslands)
 	}
 	normU := stats.NormalizeMax(p.Util)
-	return &qp.Problem{
-		N:           n,
-		M:           opts.NumIslands,
-		Comm:        stats.NormalizeMatrixMax(p.Traffic),
-		Util:        normU,
-		TargetMeans: stats.QuartileMeans(normU, opts.NumIslands),
-		Wc:          opts.Wc,
-		Wu:          opts.Wu,
-	}, nil
+	prob := &qp.Problem{
+		N:    n,
+		M:    opts.NumIslands,
+		Comm: stats.NormalizeMatrixMax(p.Traffic),
+		Util: normU,
+		Wc:   opts.Wc,
+		Wu:   opts.Wu,
+	}
+	if len(opts.IslandSizes) > 0 {
+		if len(opts.IslandSizes) != opts.NumIslands {
+			return nil, fmt.Errorf("vfi: %d island sizes for %d islands", len(opts.IslandSizes), opts.NumIslands)
+		}
+		total := 0
+		for j, s := range opts.IslandSizes {
+			if s <= 0 {
+				return nil, fmt.Errorf("vfi: island %d has non-positive size %d", j, s)
+			}
+			total += s
+		}
+		if total != n {
+			return nil, fmt.Errorf("vfi: island sizes sum to %d for %d cores", total, n)
+		}
+		prob.Sizes = append([]int(nil), opts.IslandSizes...)
+		prob.TargetMeans = stats.GroupMeansBySizes(normU, opts.IslandSizes)
+	} else {
+		if n%opts.NumIslands != 0 {
+			return nil, fmt.Errorf("vfi: %d cores not divisible into %d equal islands (set IslandSizes for an unequal split)", n, opts.NumIslands)
+		}
+		prob.TargetMeans = stats.QuartileMeans(normU, opts.NumIslands)
+	}
+	return prob, nil
 }
 
 // Cluster solves the clustering program and returns the core→island
