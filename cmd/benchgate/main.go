@@ -1,14 +1,17 @@
 // Command benchgate turns `go test -bench -benchmem` text into a
-// machine-readable BENCH_des.json and gates the DES engine benchmarks
-// against a committed snapshot.
+// machine-readable BENCH_des.json and gates benchmarks against committed
+// expectations.
 //
 // Usage:
 //
 //	go test ./internal/noc -run '^$' -bench 'BenchmarkDES' -benchmem |
 //	    benchgate -out BENCH_des.json -baseline testdata/BENCH_des.json -check
 //
-// Raw ns/op numbers vary across machines, so the gate never compares them
-// directly. Instead it checks two machine-independent properties:
+//	go test ./internal/lint -run '^$' -bench 'BenchmarkSuiteRun' -benchmem |
+//	    benchgate -des=false -budget SuiteRun=60s -check
+//
+// Raw ns/op numbers vary across machines, so the DES gate never compares
+// them directly. Instead it checks two machine-independent properties:
 //
 //   - the event engine's steady state is allocation-free (allocs/op and
 //     B/op are exactly zero), and
@@ -16,6 +19,14 @@
 //     event-engine ns/op, both measured in the same process on the same
 //     host) has not regressed below the committed snapshot's speedup by
 //     more than -tolerance (a fraction, default 0.30).
+//
+// Those DES-specific gates (required benchmarks, allocation freedom, and
+// the speedup floor) are on by default and can be switched off with
+// -des=false when gating non-DES benchmarks. Independent of them, each
+// repeatable -budget name=duration flag requires the named benchmark to
+// be present and to finish within the given wall-clock budget per op — a
+// deliberately loose, committed ceiling that catches order-of-magnitude
+// latency blowups without chasing host noise.
 //
 // Without -check the command only parses and writes the JSON, which is how
 // the committed snapshots are produced.
@@ -31,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // eventBench and referenceBench are the two benchmarks whose ratio forms
@@ -60,14 +72,49 @@ type Snapshot struct {
 	Benchmarks          []Bench `json:"benchmarks"`
 }
 
+// budgetFlag collects repeatable -budget name=duration pairs.
+type budgetFlag map[string]time.Duration
+
+func (b budgetFlag) String() string {
+	names := make([]string, 0, len(b))
+	for name := range b {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = name + "=" + b[name].String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b budgetFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || strings.TrimSpace(name) == "" {
+		return fmt.Errorf("budget %q: want name=duration", s)
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return fmt.Errorf("budget %q: %w", s, err)
+	}
+	if d <= 0 {
+		return fmt.Errorf("budget %q: duration must be positive", s)
+	}
+	b[strings.TrimSpace(name)] = d
+	return nil
+}
+
 func main() {
 	var (
 		in       = flag.String("in", "-", "benchmark text to parse (- for stdin)")
 		out      = flag.String("out", "", "write the parsed snapshot JSON here")
 		baseline = flag.String("baseline", "", "committed snapshot to gate against")
-		check    = flag.Bool("check", false, "enforce the alloc and speedup gates")
+		check    = flag.Bool("check", false, "enforce the configured gates")
 		tol      = flag.Float64("tolerance", 0.30, "allowed fractional speedup regression vs baseline")
+		des      = flag.Bool("des", true, "enforce the DES-specific required-bench, alloc, and speedup gates")
+		budgets  = budgetFlag{}
 	)
+	flag.Var(budgets, "budget", "wall-clock gate `name=duration` requiring the named benchmark to stay within duration per op (repeatable)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -109,7 +156,7 @@ func main() {
 			fatal(fmt.Errorf("baseline %s: %w", *baseline, err))
 		}
 	}
-	if errs := gate(snap, base, *tol); len(errs) > 0 {
+	if errs := gate(snap, base, *tol, *des, budgets); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", e)
 		}
@@ -186,30 +233,50 @@ func parseLine(line string) (Bench, bool) {
 	return b, seenNs
 }
 
-// gate returns every violated invariant (empty means green).
-func gate(snap, base *Snapshot, tol float64) []error {
+// gate returns every violated invariant (empty means green). The DES
+// gates (required benchmarks, allocation freedom, speedup floor) run
+// only when des is true; the wall-clock budgets always apply.
+func gate(snap, base *Snapshot, tol float64, des bool, budgets budgetFlag) []error {
 	var errs []error
-	for _, name := range []string{eventBench, referenceBench} {
-		if _, ok := find(snap.Benchmarks, name); !ok {
-			errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+	if des {
+		for _, name := range []string{eventBench, referenceBench} {
+			if _, ok := find(snap.Benchmarks, name); !ok {
+				errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+			}
+		}
+		for _, name := range allocFreeBenches {
+			b, ok := find(snap.Benchmarks, name)
+			if !ok {
+				errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+				continue
+			}
+			if b.AllocsPerOp != 0 || b.BytesPerOp != 0 {
+				errs = append(errs, fmt.Errorf("%s not allocation-free: %d B/op, %d allocs/op",
+					name, b.BytesPerOp, b.AllocsPerOp))
+			}
+		}
+		if base != nil && base.SpeedupRefOverEvent > 0 && snap.SpeedupRefOverEvent > 0 {
+			floor := base.SpeedupRefOverEvent * (1 - tol)
+			if snap.SpeedupRefOverEvent < floor {
+				errs = append(errs, fmt.Errorf("speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					snap.SpeedupRefOverEvent, floor, base.SpeedupRefOverEvent, tol*100))
+			}
 		}
 	}
-	for _, name := range allocFreeBenches {
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		budget := budgets[name]
 		b, ok := find(snap.Benchmarks, name)
 		if !ok {
-			errs = append(errs, fmt.Errorf("benchmark %s missing from input", name))
+			errs = append(errs, fmt.Errorf("budgeted benchmark %s missing from input", name))
 			continue
 		}
-		if b.AllocsPerOp != 0 || b.BytesPerOp != 0 {
-			errs = append(errs, fmt.Errorf("%s not allocation-free: %d B/op, %d allocs/op",
-				name, b.BytesPerOp, b.AllocsPerOp))
-		}
-	}
-	if base != nil && base.SpeedupRefOverEvent > 0 && snap.SpeedupRefOverEvent > 0 {
-		floor := base.SpeedupRefOverEvent * (1 - tol)
-		if snap.SpeedupRefOverEvent < floor {
-			errs = append(errs, fmt.Errorf("speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
-				snap.SpeedupRefOverEvent, floor, base.SpeedupRefOverEvent, tol*100))
+		if got := time.Duration(b.NsPerOp); got > budget {
+			errs = append(errs, fmt.Errorf("%s took %v per op, over the %v budget", name, got, budget))
 		}
 	}
 	return errs

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -52,11 +53,11 @@ func TestParse(t *testing.T) {
 func TestGateGreen(t *testing.T) {
 	snap := parseSample(t)
 	base := &Snapshot{Schema: 1, SpeedupRefOverEvent: snap.SpeedupRefOverEvent}
-	if errs := gate(snap, base, 0.30); len(errs) != 0 {
+	if errs := gate(snap, base, 0.30, true, nil); len(errs) != 0 {
 		t.Fatalf("unexpected failures: %v", errs)
 	}
 	// No baseline: only the alloc gates apply.
-	if errs := gate(snap, nil, 0.30); len(errs) != 0 {
+	if errs := gate(snap, nil, 0.30, true, nil); len(errs) != 0 {
 		t.Fatalf("unexpected failures without baseline: %v", errs)
 	}
 }
@@ -68,7 +69,7 @@ func TestGateAllocRegression(t *testing.T) {
 			snap.Benchmarks[i].AllocsPerOp = 7
 		}
 	}
-	errs := gate(snap, nil, 0.30)
+	errs := gate(snap, nil, 0.30, true, nil)
 	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "not allocation-free") {
 		t.Fatalf("want one alloc failure, got %v", errs)
 	}
@@ -77,21 +78,92 @@ func TestGateAllocRegression(t *testing.T) {
 func TestGateSpeedupRegression(t *testing.T) {
 	snap := parseSample(t)
 	base := &Snapshot{Schema: 1, SpeedupRefOverEvent: snap.SpeedupRefOverEvent * 2}
-	errs := gate(snap, base, 0.30)
+	errs := gate(snap, base, 0.30, true, nil)
 	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "below floor") {
 		t.Fatalf("want one speedup failure, got %v", errs)
 	}
 	// Within the band: half the baseline fails at 30% but passes at 60%.
-	if errs := gate(snap, base, 0.60); len(errs) != 0 {
+	if errs := gate(snap, base, 0.60, true, nil); len(errs) != 0 {
 		t.Fatalf("60%% tolerance should pass, got %v", errs)
 	}
 }
 
 func TestGateMissingBench(t *testing.T) {
 	snap := &Snapshot{Schema: 1, Benchmarks: []Bench{{Name: "DESEventEngine"}}}
-	errs := gate(snap, nil, 0.30)
+	errs := gate(snap, nil, 0.30, true, nil)
 	if len(errs) == 0 {
 		t.Fatal("want failures for missing benchmarks")
+	}
+}
+
+// lintSample is what the analyzer-suite benchmark job feeds the budget
+// gate: a single non-DES benchmark line.
+const lintSample = `goos: linux
+pkg: wivfi/internal/lint
+BenchmarkSuiteRun-8 	       1	3164379494 ns/op	798999232 B/op	 9280609 allocs/op
+PASS
+ok  	wivfi/internal/lint	3.173s
+`
+
+func TestBudgetFlagSet(t *testing.T) {
+	b := budgetFlag{}
+	for _, good := range []string{"SuiteRun=60s", "Other=1500ms"} {
+		if err := b.Set(good); err != nil {
+			t.Fatalf("Set(%q): %v", good, err)
+		}
+	}
+	if b["SuiteRun"] != 60*time.Second || b["Other"] != 1500*time.Millisecond {
+		t.Fatalf("parsed budgets wrong: %v", b)
+	}
+	if got := b.String(); got != "Other=1.5s,SuiteRun=1m0s" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"SuiteRun", "=60s", "SuiteRun=bogus", "SuiteRun=-5s", "SuiteRun=0s"} {
+		if err := b.Set(bad); err == nil {
+			t.Fatalf("Set(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGateBudget(t *testing.T) {
+	snap, err := parse(strings.NewReader(lintSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within budget, DES gates off: green even though no DES bench exists.
+	if errs := gate(snap, nil, 0.30, false, budgetFlag{"SuiteRun": 60 * time.Second}); len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+	// Over budget: exactly one failure naming the budget.
+	errs := gate(snap, nil, 0.30, false, budgetFlag{"SuiteRun": time.Second})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "over the 1s budget") {
+		t.Fatalf("want one budget failure, got %v", errs)
+	}
+	// A budgeted benchmark that never ran must fail, not silently pass.
+	errs = gate(snap, nil, 0.30, false, budgetFlag{"Ghost": time.Second})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "Ghost missing") {
+		t.Fatalf("want one missing-benchmark failure, got %v", errs)
+	}
+}
+
+func TestGateDESToggle(t *testing.T) {
+	snap, err := parse(strings.NewReader(lintSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With DES gates on, a lint-only snapshot fails the required-bench
+	// checks; with them off it is green.
+	if errs := gate(snap, nil, 0.30, true, nil); len(errs) == 0 {
+		t.Fatal("DES gates should fail on a lint-only snapshot")
+	}
+	if errs := gate(snap, nil, 0.30, false, nil); len(errs) != 0 {
+		t.Fatalf("disabled DES gates should pass: %v", errs)
+	}
+	// Budgets still apply with DES gates on.
+	desSnap := parseSample(t)
+	errs := gate(desSnap, nil, 0.30, true, budgetFlag{"DESEventEngine": time.Millisecond})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "budget") {
+		t.Fatalf("want one budget failure alongside green DES gates, got %v", errs)
 	}
 }
 

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// BenchmarkSuiteRun times a full nine-analyzer run over the entire
+// repository — module discovery, loading, type-checking, CFG/dataflow
+// construction, and every analyzer, exactly the work `wivfi-lint ./...`
+// does. CI runs it once per push and gates the wall clock with
+// benchgate -budget against the committed budget in
+// testdata/lint-bench-budget, so analyzer additions that blow up lint
+// latency fail loudly instead of silently taxing every future commit.
+func BenchmarkSuiteRun(b *testing.B) {
+	mod, err := FindModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		findings, err := Lint(mod.Root, []string{"./..."}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repo not lint-clean: %d findings", len(findings))
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package lint
+
+// cachekey: the design cache and request memo are content-addressed — a
+// result is reused whenever expt.ConfigHash/RequestKey hash equal bytes.
+// Two dual audits keep that sound as structs grow:
+//
+//  1. Hash-tree audit: every struct type transitively reachable from the
+//     configured hash roots (expt.Config) through serialized fields is the
+//     cache key's alphabet. An unexported field, a `json:"-"` tag, or an
+//     unserializable type (func/chan) silently drops state from the hash:
+//     two configs that differ only there collide on one cached design.
+//  2. Request-flow audit: every field of a configured request struct
+//     (serve.Request, sweep.Scenario) must flow into a KeyFuncs call —
+//     traced from the call's arguments through reaching definitions into
+//     the producer methods (Config(), keyExtras(), ...) and their callees.
+//     A new request field that never reaches the key means two requests
+//     differing only in that field share a cached result.
+//
+// The flow audit is read-based: a field counts as covered when any
+// producer reachable from the key call's arguments reads it. That is
+// deliberately generous (a producer may read a field for validation only)
+// — the contract it enforces is "a request field must at least be examined
+// on the key path", which catches the silent-new-field hazard this
+// analyzer exists for.
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// CacheKeyAnalyzer audits cache-key completeness.
+var CacheKeyAnalyzer = &Analyzer{
+	Name: "cachekey",
+	Doc:  "every serialized config field must feed the content hash, and every request field must reach the request key",
+	Keys: []string{"hashfield", "keyfield"},
+	Run:  runCacheKey,
+}
+
+func runCacheKey(p *Pass) {
+	auditHashTree(p)
+	for _, q := range p.Config.RequestStructs {
+		pkgPath, name := splitQName(q)
+		if pkgPath != p.Pkg.ImportPath {
+			continue
+		}
+		if obj, ok := p.Pkg.Types.Scope().Lookup(name).(*types.TypeName); ok {
+			if named, ok := obj.Type().(*types.Named); ok {
+				auditRequestFlow(p, named)
+			}
+		}
+	}
+}
+
+// ---- hash-tree audit -------------------------------------------------------
+
+// auditHashTree reports fields of hash-reachable structs declared in this
+// package that cannot contribute to the JSON hash.
+func auditHashTree(p *Pass) {
+	for _, named := range hashReachableStructs(p) {
+		if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != p.Pkg.ImportPath {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			tagName, _, _ := strings.Cut(tag, ",")
+			switch {
+			case !f.Exported():
+				p.Reportf(f.Pos(), "hashfield",
+					"unexported field %s of hash-keyed struct %s is invisible to the JSON config hash: configs differing only here collide on one cached design — export it, or annotate //lint:hashfield <why> if it provably never affects results",
+					f.Name(), named.Obj().Name())
+			case tagName == "-":
+				p.Reportf(f.Pos(), "hashfield",
+					"field %s of hash-keyed struct %s is excluded from the config hash by json:\"-\": configs differing only here collide on one cached design — drop the tag, or annotate //lint:hashfield <why> if it provably never affects results",
+					f.Name(), named.Obj().Name())
+			case unserializable(f.Type()):
+				p.Reportf(f.Pos(), "hashfield",
+					"field %s of hash-keyed struct %s has an unserializable type (%s): json.Marshal fails and the config hash degenerates — use a serializable representation, or annotate //lint:hashfield <why>",
+					f.Name(), named.Obj().Name(), f.Type().String())
+			}
+		}
+	}
+}
+
+// hashReachableStructs resolves the configured hash roots and returns every
+// module-internal named struct reachable through serialized fields, cached
+// per suite run.
+func hashReachableStructs(p *Pass) []*types.Named {
+	if p.suite.hashStructs != nil {
+		return p.suite.hashStructs
+	}
+	seen := map[*types.TypeName]bool{}
+	var out []*types.Named
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			walk(t.Elem())
+		case *types.Slice:
+			walk(t.Elem())
+		case *types.Array:
+			walk(t.Elem())
+		case *types.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		case *types.Named:
+			obj := t.Obj()
+			if obj.Pkg() == nil || seen[obj] {
+				return
+			}
+			if !strings.HasPrefix(obj.Pkg().Path(), p.Config.ModulePath) {
+				return // stdlib types serialize as documented; out of scope
+			}
+			seen[obj] = true
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				out = append(out, t)
+				walkStructFields(st, walk)
+			} else {
+				walk(t.Underlying())
+			}
+		case *types.Struct:
+			walkStructFields(t, walk)
+		}
+	}
+	for _, q := range p.Config.HashRoots {
+		pkgPath, name := splitQName(q)
+		pkg := p.prog().pkgByPath[pkgPath]
+		if pkg == nil {
+			continue
+		}
+		if obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName); ok {
+			walk(obj.Type())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Obj().Pkg().Path()+out[i].Obj().Name() < out[j].Obj().Pkg().Path()+out[j].Obj().Name()
+	})
+	p.suite.hashStructs = out
+	return out
+}
+
+// walkStructFields recurses into the types of fields that serialize.
+func walkStructFields(st *types.Struct, walk func(types.Type)) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		tagName, _, _ := strings.Cut(tag, ",")
+		if !f.Exported() || tagName == "-" {
+			continue
+		}
+		walk(f.Type())
+	}
+}
+
+// unserializable reports whether t cannot round-trip through json.Marshal.
+func unserializable(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return true
+	case *types.Basic:
+		return t.Info()&types.IsComplex != 0
+	case *types.Pointer:
+		return unserializable(t.Elem())
+	case *types.Slice:
+		return unserializable(t.Elem())
+	case *types.Array:
+		return unserializable(t.Elem())
+	}
+	return false
+}
+
+// ---- request-flow audit ----------------------------------------------------
+
+// auditRequestFlow checks that every field of the request struct S reaches
+// a KeyFuncs call declared in this package.
+func auditRequestFlow(p *Pass, s *types.Named) {
+	st, ok := s.Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return
+	}
+
+	used := map[string]bool{}
+	producers := map[*types.Func]bool{}
+	foundCall := false
+
+	// Seed: arguments of every KeyFuncs call in this package.
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc := declScope(p.prog(), p.Pkg, fd)
+			visitFuncBody(sc, func(n ast.Node, nsc *fnScope) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !contains(p.Config.KeyFuncs, funcQName(calleeObject(p.Pkg.Info, call))) {
+					return true
+				}
+				foundCall = true
+				for _, arg := range call.Args {
+					traceKeyArg(p, s, arg, nsc, used, producers, 0)
+				}
+				return true
+			})
+		}
+	}
+
+	if !foundCall {
+		p.Reportf(s.Obj().Pos(), "keyfield",
+			"request struct %s has no %s call in its package: cachekey cannot audit that its fields reach the cache key — route requests through a key, or annotate //lint:keyfield <why>",
+			s.Obj().Name(), strings.Join(shortNames(p.Config.KeyFuncs), "/"))
+		return
+	}
+
+	// Close over the producer methods: field reads anywhere in a producer
+	// (or in a callee that also handles S) count as reaching the key.
+	work := make([]*types.Func, 0, len(producers))
+	for fn := range producers {
+		work = append(work, fn)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].FullName() < work[j].FullName() })
+	visited := map[*types.Func]bool{}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		src := p.prog().srcOf(fn)
+		if src == nil {
+			continue
+		}
+		info := src.pkg.Info
+		ast.Inspect(src.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				markFieldRead(info, s, n, used)
+			case *ast.CallExpr:
+				if callee := staticCallee(info, n); callee != nil && handlesStruct(callee, s) {
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if used[f.Name()] {
+			continue
+		}
+		p.Reportf(f.Pos(), "keyfield",
+			"field %s of request struct %s never reaches the request key: two requests differing only in %s share a cached result — wire it into the key (or its producers), or annotate //lint:keyfield <why> if it provably cannot affect results",
+			f.Name(), s.Obj().Name(), f.Name())
+	}
+}
+
+// traceKeyArg walks one key-call argument: direct field reads mark fields,
+// method calls on S become producers, and identifiers are traced through
+// their reaching definitions.
+func traceKeyArg(p *Pass, s *types.Named, arg ast.Expr, sc *fnScope, used map[string]bool, producers map[*types.Func]bool, depth int) {
+	if depth > 6 {
+		return
+	}
+	info := sc.pkg.Info
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			markFieldRead(info, s, n, used)
+		case *ast.CallExpr:
+			if callee := staticCallee(info, n); callee != nil && handlesStruct(callee, s) {
+				producers[callee] = true
+			}
+		case *ast.Ident:
+			for _, d := range sc.defsOf(n) {
+				if d.rhs != nil {
+					traceKeyArg(p, s, d.rhs, sc, used, producers, depth+1)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markFieldRead marks sel as a use of one of S's fields when its base is
+// S-typed.
+func markFieldRead(info *types.Info, s *types.Named, sel *ast.SelectorExpr, used map[string]bool) {
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() == s.Obj() {
+		used[sel.Sel.Name] = true
+	}
+}
+
+// handlesStruct reports whether fn's receiver or any parameter is S-typed,
+// i.e. field reads inside it can concern an S value on the key path.
+func handlesStruct(fn *types.Func, s *types.Named) bool {
+	sig := fn.Type().(*types.Signature)
+	isS := func(t types.Type) bool {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == s.Obj()
+	}
+	if sig.Recv() != nil && isS(sig.Recv().Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isS(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func shortNames(qnames []string) []string {
+	out := make([]string, len(qnames))
+	for i, q := range qnames {
+		_, out[i] = splitQName(q)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source (no type-checking — the
+// CFG builder is purely syntactic).
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockMentioning returns the first reachable block one of whose nodes
+// contains an identifier with the given name, honouring the composite
+// marker convention (a SelectStmt/RangeStmt marker means "the header
+// executes here" — clause and body statements are not searched).
+func blockMentioning(c *funcCFG, name string) *cfgBlock {
+	for _, blk := range c.reachableBlocks() {
+		for _, n := range blk.nodes {
+			switch m := n.(type) {
+			case *ast.SelectStmt:
+				continue
+			case *ast.RangeStmt:
+				n = m.X
+			}
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from over successor edges.
+func reaches(from, to *cfgBlock) bool {
+	seen := map[*cfgBlock]bool{}
+	var walk func(b *cfgBlock) bool
+	walk = func(b *cfgBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// TestCFGDeferOnPath pins the property locksafe's exit check depends on:
+// a defer is a flow node on the path where it textually executes, so a
+// return BEFORE the defer registers must not see it, and a return after
+// must.
+func TestCFGDeferOnPath(t *testing.T) {
+	c := buildCFG(parseBody(t, `
+	lock()
+	if early {
+		earlyOut()
+		return
+	}
+	defer unlock()
+	late()
+	return`))
+
+	earlyBlk := blockMentioning(c, "earlyOut")
+	lateBlk := blockMentioning(c, "late")
+	deferBlk := blockMentioning(c, "unlock")
+	if earlyBlk == nil || lateBlk == nil || deferBlk == nil {
+		t.Fatal("missing expected blocks")
+	}
+	if deferBlk != lateBlk {
+		t.Errorf("defer should share the late path's block: defer in #%d, late() in #%d", deferBlk.index, lateBlk.index)
+	}
+	if reaches(earlyBlk, deferBlk) {
+		t.Error("early-return path must not pass through the defer")
+	}
+	if _, ok := deferBlk.nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("defer should appear as an *ast.DeferStmt flow node, got %T", deferBlk.nodes[0])
+	}
+	if earlyBlk.terminalReturn() == nil {
+		t.Error("early block should end in an explicit return")
+	}
+}
+
+// TestCFGGoroutineClosure pins the closure isolation convention: a go
+// statement is one plain node in the launching block, and the closure's
+// internal statements never appear in the enclosing CFG (closures get
+// their own CFGs; their execution time is unknown).
+func TestCFGGoroutineClosure(t *testing.T) {
+	c := buildCFG(parseBody(t, `
+	before()
+	go func() {
+		inner()
+		if x {
+			return
+		}
+		innerTail()
+	}()
+	after()`))
+
+	for _, blk := range c.reachableBlocks() {
+		for _, n := range blk.nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if strings.Contains(exprIdent(call.X), "inner") {
+					t.Errorf("closure statement leaked into outer CFG block #%d", blk.index)
+				}
+			}
+		}
+	}
+	goBlk := blockMentioning(c, "before")
+	if goBlk == nil {
+		t.Fatal("missing launch block")
+	}
+	var haveGo bool
+	for _, n := range goBlk.nodes {
+		if _, ok := n.(*ast.GoStmt); ok {
+			haveGo = true
+		}
+	}
+	if !haveGo {
+		t.Error("go statement should be a plain node in the launching block")
+	}
+	if blockMentioning(c, "after") != goBlk {
+		t.Error("control continues past go in the same block")
+	}
+}
+
+func exprIdent(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// TestCFGSelect pins the composite-marker convention: the SelectStmt node
+// sits in the evaluating block (meaning "the select blocks here"), each
+// comm clause lives in its own successor block, and — because a select
+// with no default always blocks — there is no direct edge past it.
+func TestCFGSelect(t *testing.T) {
+	c := buildCFG(parseBody(t, `
+	pre()
+	select {
+	case v := <-ch:
+		use(v)
+	case out <- 1:
+		sent()
+	}
+	post()`))
+
+	markerBlk := blockMentioning(c, "pre")
+	if markerBlk == nil {
+		t.Fatal("missing marker block")
+	}
+	var marker *ast.SelectStmt
+	for _, n := range markerBlk.nodes {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			marker = s
+		}
+	}
+	if marker == nil {
+		t.Fatal("SelectStmt marker should sit in the evaluating block")
+	}
+	if len(markerBlk.succs) != 2 {
+		t.Fatalf("marker block should have one successor per clause, got %d", len(markerBlk.succs))
+	}
+	postBlk := blockMentioning(c, "post")
+	for _, s := range markerBlk.succs {
+		if s == postBlk {
+			t.Error("select without default must not fall through directly")
+		}
+	}
+	if useBlk := blockMentioning(c, "use"); useBlk == markerBlk || useBlk == nil {
+		t.Error("clause bodies must live in successor blocks, not the marker block")
+	}
+	for _, s := range markerBlk.succs {
+		if !reaches(s, postBlk) {
+			t.Errorf("clause block #%d should reach the post-select block", s.index)
+		}
+	}
+}
+
+// TestCFGLabeledBreak pins label resolution: break with a label exits the
+// labeled outer loop, not just the innermost one.
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildCFG(parseBody(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if hot {
+				escape()
+				break outer
+			}
+			innerWork()
+		}
+		outerWork()
+	}
+	done()`))
+
+	escapeBlk := blockMentioning(c, "escape")
+	doneBlk := blockMentioning(c, "done")
+	outerWorkBlk := blockMentioning(c, "outerWork")
+	if escapeBlk == nil || doneBlk == nil || outerWorkBlk == nil {
+		t.Fatal("missing expected blocks")
+	}
+	foundDirect := false
+	for _, s := range escapeBlk.succs {
+		if s == doneBlk {
+			foundDirect = true
+		}
+	}
+	if !foundDirect {
+		t.Error("break outer should edge directly to the block after the outer loop")
+	}
+	if reaches(escapeBlk, outerWorkBlk) {
+		t.Error("break outer must not continue into the outer loop's remaining body")
+	}
+}
+
+// TestCFGTerminalCalls pins that panic ends a path without creating a
+// return edge: the block edges to exit (defers still run) but has no
+// terminal return, and code after it is not reachable from it.
+func TestCFGTerminalCalls(t *testing.T) {
+	c := buildCFG(parseBody(t, `
+	if bad {
+		panic("boom")
+	}
+	cleanup()`))
+
+	panicBlk := blockMentioning(c, "panic")
+	cleanupBlk := blockMentioning(c, "cleanup")
+	if panicBlk == nil || cleanupBlk == nil {
+		t.Fatal("missing expected blocks")
+	}
+	if panicBlk.terminalReturn() != nil {
+		t.Error("panic is not a return")
+	}
+	foundExit := false
+	for _, s := range panicBlk.succs {
+		if s == c.exit {
+			foundExit = true
+		}
+		if s == cleanupBlk {
+			t.Error("panic must not fall through to the next statement")
+		}
+	}
+	if !foundExit {
+		t.Error("panic block should edge to the synthetic exit")
+	}
+}

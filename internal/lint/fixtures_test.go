@@ -125,6 +125,46 @@ func TestSweepFixtures(t *testing.T) {
 		func(cfg *Config, paths []string) { cfg.ResultPackages = append(cfg.ResultPackages, paths...) })
 }
 
+func TestPoolSafeFixtures(t *testing.T) {
+	// The fixtures import the real wivfi/internal/sim.Pool, which the
+	// default config already names in PoolTypes — no scoping needed.
+	runFixture(t, "poolsafe", []string{"poolsafe_pos", "poolsafe_neg"},
+		func(cfg *Config, paths []string) {})
+}
+
+// scopeCacheKey points the cachekey roots at the fixtures' local
+// Config/Request/KeyOf declarations.
+func scopeCacheKey(cfg *Config, paths []string) {
+	cfg.HashRoots = nil
+	cfg.KeyFuncs = nil
+	cfg.RequestStructs = nil
+	for _, p := range paths {
+		cfg.HashRoots = append(cfg.HashRoots, p+".Config")
+		cfg.KeyFuncs = append(cfg.KeyFuncs, p+".KeyOf")
+		cfg.RequestStructs = append(cfg.RequestStructs, p+".Request")
+	}
+}
+
+func TestCacheKeyFixtures(t *testing.T) {
+	runFixture(t, "cachekey", []string{"cachekey_pos", "cachekey_neg"}, scopeCacheKey)
+}
+
+func TestLockSafeFixtures(t *testing.T) {
+	// locksafe has no package gate: the lock discipline holds everywhere.
+	runFixture(t, "locksafe", []string{"locksafe_pos", "locksafe_neg"},
+		func(cfg *Config, paths []string) {})
+}
+
+func TestLeakSafeFixtures(t *testing.T) {
+	runFixture(t, "leaksafe", []string{"leaksafe_pos", "leaksafe_neg"},
+		func(cfg *Config, paths []string) { cfg.ResultPackages = paths })
+}
+
+func TestSeedFlowFixtures(t *testing.T) {
+	runFixture(t, "seedflow", []string{"seedflow_pos", "seedflow_neg"},
+		func(cfg *Config, paths []string) { cfg.ResultPackages = paths })
+}
+
 func TestAnnotationHygieneFixtures(t *testing.T) {
 	// The package is made a result package so the reasonless //lint:wallclock
 	// provably fails to suppress the determinism finding it sits on.
@@ -135,7 +175,10 @@ func TestAnnotationHygieneFixtures(t *testing.T) {
 // TestNegativesStayClean pins the core property of every *_neg fixture: a
 // full-default-suite run over all of them together yields nothing.
 func TestNegativesStayClean(t *testing.T) {
-	names := []string{"det_neg", "nilsafe_neg", "stdout_neg", "counter_neg", "sweep_neg"}
+	names := []string{
+		"det_neg", "nilsafe_neg", "stdout_neg", "counter_neg", "sweep_neg",
+		"poolsafe_neg", "cachekey_neg", "locksafe_neg", "leaksafe_neg", "seedflow_neg",
+	}
 	mod, pkgs, root := loadFixtures(t, names...)
 	cfg := DefaultConfig(mod.Path)
 	for _, name := range names {
@@ -143,6 +186,12 @@ func TestNegativesStayClean(t *testing.T) {
 		cfg.ResultPackages = append(cfg.ResultPackages, p)
 		cfg.NilsafePackages = append(cfg.NilsafePackages, p)
 	}
+	// Aim the cachekey roots at the fixture's local declarations too, so
+	// its negatives are exercised (not just unconfigured).
+	ck := fixturePath(mod, root, "cachekey_neg")
+	cfg.HashRoots = append(cfg.HashRoots, ck+".Config")
+	cfg.KeyFuncs = append(cfg.KeyFuncs, ck+".KeyOf")
+	cfg.RequestStructs = append(cfg.RequestStructs, ck+".Request")
 	if findings := NewSuite(cfg, root).Run(pkgs); len(findings) != 0 {
 		for _, f := range findings {
 			t.Errorf("unexpected finding: %s", f)

@@ -1,7 +1,9 @@
 // Package lint is the repo's custom static-analysis suite: a small,
 // stdlib-only analyzer framework (go/parser + go/types, no x/tools
-// dependency, so it runs offline) plus the four analyzers that
-// mechanically enforce the contracts the paper reproduction depends on:
+// dependency, so it runs offline) plus the nine analyzers that
+// mechanically enforce the contracts the paper reproduction depends on.
+//
+// Four are AST-level pattern checks:
 //
 //   - determinism: result-producing packages must not let wall clock,
 //     global math/rand state, or unordered map iteration feed floats into
@@ -18,6 +20,26 @@
 //   - countersafe: obs counter/gauge names must come from declared
 //     constants, so a typo'd metric name is a compile-visible diagnostic
 //     instead of a silently empty manifest row.
+//
+// Five are flow-sensitive, built on the cfg.go/dataflow.go engine (basic
+// blocks, reaching definitions, and bounded interprocedural call walks
+// over every package the loader has in memory):
+//
+//   - poolsafe: a job holding a sim.Pool slot must not transitively
+//     re-acquire from the same pool (nested acquisition deadlocks under
+//     saturation — the PR 9 incident, machine-checked).
+//   - cachekey: every serialized field reachable from the hash-root
+//     structs must feed expt.ConfigHash, and every field of a request
+//     struct must reach a RequestKey call — new fields that silently
+//     collide cached results become findings.
+//   - locksafe: no mutex held across channel operations, pool
+//     acquisition, or calls that re-lock the same receiver; every path
+//     from Lock to return must unlock.
+//   - leaksafe: goroutines launched in result packages need a join/cancel
+//     path (WaitGroup, channel, or pool slot).
+//   - seedflow: rand sources in result packages must be seeded from
+//     config/seed parameters or named constants, traced through
+//     assignments and calls.
 //
 // Audited exceptions are annotated in source as `//lint:<key> <reason>` on
 // the offending line or the line above; annotations without a reason, with
@@ -90,6 +112,14 @@ func (p *Pass) Reportf(pos token.Pos, key, format string, args ...any) {
 	})
 }
 
+// prog returns the whole-program index the suite built for this run.
+func (p *Pass) prog() *progIndex {
+	if p.suite.prog == nil {
+		p.suite.prog = buildProgIndex([]*Package{p.Pkg})
+	}
+	return p.suite.prog
+}
+
 // Config scopes the analyzers. Paths are import paths; DefaultConfig wires
 // the repo's real layout, tests substitute fixture packages.
 type Config struct {
@@ -111,6 +141,22 @@ type Config struct {
 	// MetricFuncs are the constructors whose name argument must be a
 	// declared constant, qualified as "import/path.FuncName".
 	MetricFuncs []string
+	// PoolTypes are the bounded worker-pool types whose Do/DoNamed methods
+	// acquire an admission slot, qualified as "import/path.TypeName";
+	// poolsafe guards their nested acquisition, locksafe and leaksafe
+	// treat them as blocking/joining primitives.
+	PoolTypes []string
+	// HashRoots are the struct types whose JSON serialization feeds the
+	// design-cache content hash; cachekey audits every struct reachable
+	// from them through serialized fields.
+	HashRoots []string
+	// KeyFuncs are the cache-key constructors, qualified as
+	// "import/path.FuncName"; request-struct fields must flow into a call
+	// to one of them.
+	KeyFuncs []string
+	// RequestStructs are request-shaped structs (qualified type names)
+	// whose every field must reach a KeyFuncs call.
+	RequestStructs []string
 }
 
 // DefaultConfig returns the production configuration for this repo.
@@ -145,6 +191,16 @@ func DefaultConfig(modulePath string) Config {
 			modulePath + "/internal/obs.NewGauge",
 			modulePath + "/internal/obs.RegisterHistogram",
 		},
+		PoolTypes: []string{modulePath + "/internal/sim.Pool"},
+		HashRoots: []string{modulePath + "/internal/expt.Config"},
+		KeyFuncs: []string{
+			modulePath + "/internal/expt.RequestKey",
+			modulePath + "/internal/expt.ConfigHash",
+		},
+		RequestStructs: []string{
+			modulePath + "/internal/serve.Request",
+			modulePath + "/internal/sweep.Scenario",
+		},
 	}
 }
 
@@ -155,6 +211,11 @@ func Analyzers() []*Analyzer {
 		NilsafeAnalyzer,
 		StdoutPureAnalyzer,
 		CounterSafeAnalyzer,
+		PoolSafeAnalyzer,
+		CacheKeyAnalyzer,
+		LockSafeAnalyzer,
+		LeakSafeAnalyzer,
+		SeedFlowAnalyzer,
 	}
 }
 
@@ -203,8 +264,15 @@ type Suite struct {
 	// Root is the directory findings are reported relative to (the module
 	// root in production, the fixture dir in tests).
 	Root string
+	// Only, when non-nil, restricts analysis and suppression auditing to
+	// the named import paths (the -pkgs CLI filter). Every loaded package
+	// still contributes whole-program context (call graphs, hash trees);
+	// Only just scopes where findings are reported.
+	Only map[string]bool
 
-	findings []Finding
+	findings    []Finding
+	prog        *progIndex
+	hashStructs []*types.Named
 }
 
 // NewSuite returns a suite with the full analyzer set.
@@ -239,18 +307,30 @@ func (s *Suite) activeKeys() (active, known map[string]bool) {
 }
 
 // Run analyzes the given packages and returns the sorted findings. It runs
-// every configured analyzer over every package, then audits the
-// suppression annotations themselves: an annotation with no reason, an
-// unknown key, or one that silenced nothing is a finding.
+// every configured analyzer over every analyzed package (all of them, or
+// the Only subset), then audits the suppression annotations themselves: an
+// annotation with no reason, an unknown key, or one that silenced nothing
+// is a finding. The stale check is per-key: an unused annotation is only
+// stale when the analyzer owning its key actually ran here — a -only or
+// -pkgs run must not condemn annotations it never gave a chance to fire.
 func (s *Suite) Run(pkgs []*Package) []Finding {
-	for _, pkg := range pkgs {
+	s.prog = buildProgIndex(pkgs)
+	analyzed := pkgs
+	if s.Only != nil {
+		analyzed = nil
+		for _, pkg := range pkgs {
+			if s.Only[pkg.ImportPath] {
+				analyzed = append(analyzed, pkg)
+			}
+		}
+	}
+	for _, pkg := range analyzed {
 		for _, a := range s.Analyzers {
 			a.Run(&Pass{Config: s.Config, Pkg: pkg, analyzer: a, suite: s})
 		}
 	}
 	active, known := s.activeKeys()
-	fullSuite := len(s.Analyzers) == len(Analyzers())
-	for _, pkg := range pkgs {
+	for _, pkg := range analyzed {
 		for _, sup := range pkg.suppressions.all() {
 			switch {
 			case !known[sup.key]:
@@ -263,7 +343,7 @@ func (s *Suite) Run(pkgs []*Package) []Finding {
 					File: s.relPath(sup.file), Line: sup.line, Analyzer: "annotation",
 					Message: fmt.Sprintf("//lint:%s needs a one-line justification after the key", sup.key),
 				})
-			case fullSuite && active[sup.key] && !sup.used:
+			case active[sup.key] && !sup.used:
 				s.findings = append(s.findings, Finding{
 					File: s.relPath(sup.file), Line: sup.line, Analyzer: "annotation",
 					Message: fmt.Sprintf("//lint:%s suppresses nothing here — remove the stale annotation", sup.key),

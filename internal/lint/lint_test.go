@@ -128,6 +128,57 @@ func TestCLIOnlySelection(t *testing.T) {
 	}
 }
 
+// TestCLIPkgsFilter pins the -pkgs package filter: the violating package
+// still loads (whole-program context), but findings come only from the
+// packages the filter names; without the flag behavior is unchanged.
+func TestCLIPkgsFilter(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := "./internal/lint/testdata/lint/stdout_pos"
+	neg := "./internal/lint/testdata/lint/stdout_neg"
+
+	var stdout, stderr bytes.Buffer
+	if code := RunCLI([]string{pos, neg}, mod.Root, &stdout, &stderr); code != ExitFindings {
+		t.Fatalf("unfiltered exit = %d, want %d (stderr: %s)", code, ExitFindings, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := RunCLI([]string{"-pkgs", neg, pos, neg}, mod.Root, &stdout, &stderr); code != ExitClean {
+		t.Fatalf("filtered-to-clean exit = %d, want %d\nstdout: %s", code, ExitClean, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("filtered-to-clean run reported findings:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := RunCLI([]string{"-pkgs", pos, pos, neg}, mod.Root, &stdout, &stderr); code != ExitFindings {
+		t.Fatalf("filtered-to-violating exit = %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(stdout.String(), "[stdoutpure]") {
+		t.Errorf("filtered run lost the [stdoutpure] findings:\n%s", stdout.String())
+	}
+}
+
+// TestCLIPkgsBadPattern pins the usage-error exit for an unresolvable
+// -pkgs pattern.
+func TestCLIPkgsBadPattern(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := RunCLI([]string{"-pkgs", "./does-not-exist", "./internal/topo"}, mod.Root, &stdout, &stderr); code != ExitError {
+		t.Fatalf("exit code = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "-pkgs") {
+		t.Errorf("stderr should attribute the error to -pkgs: %s", stderr.String())
+	}
+}
+
 // TestCLIUnknownAnalyzer pins the usage-error exit code.
 func TestCLIUnknownAnalyzer(t *testing.T) {
 	mod, err := FindModule(".")
@@ -169,6 +220,59 @@ func TestSuppressionMatching(t *testing.T) {
 	}
 }
 
+// TestStaleSuppressionOnlyScoping is the regression for per-key stale
+// auditing: det_neg carries //lint:wallclock annotations that are used
+// when determinism runs; under -only nilsafe the determinism keys are
+// inactive, so the now-unused annotations must NOT be condemned as stale.
+func TestStaleSuppressionOnlyScoping(t *testing.T) {
+	mod, pkgs, root := loadFixtures(t, "det_neg")
+	p := fixturePath(mod, root, "det_neg")
+	cfg := DefaultConfig(mod.Path)
+	cfg.ResultPackages = append(cfg.ResultPackages, p)
+	suite := NewSuite(cfg, root)
+	sel, err := Select([]string{"nilsafe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Analyzers = sel
+	for _, f := range suite.Run(pkgs) {
+		t.Errorf("unexpected finding under -only nilsafe: %s", f)
+	}
+}
+
+// TestStaleSuppressionPkgsScoping is the -pkgs counterpart: a package
+// excluded by the filter contributes context only — its annotations are
+// not audited, so they cannot be reported stale either.
+func TestStaleSuppressionPkgsScoping(t *testing.T) {
+	mod, pkgs, root := loadFixtures(t, "det_neg", "stdout_neg")
+	det := fixturePath(mod, root, "det_neg")
+	cfg := DefaultConfig(mod.Path)
+	cfg.ResultPackages = append(cfg.ResultPackages, det)
+	suite := NewSuite(cfg, root)
+	suite.Only = map[string]bool{fixturePath(mod, root, "stdout_neg"): true}
+	for _, f := range suite.Run(pkgs) {
+		t.Errorf("unexpected finding with det_neg filtered out: %s", f)
+	}
+}
+
+// TestStaleSuppressionStillFires pins the other side: under a full active
+// suite, an annotation that suppresses nothing IS stale (annot_pos's
+// //lint:ordered line stays a finding — see the annotation golden).
+func TestStaleSuppressionStillFires(t *testing.T) {
+	mod, pkgs, root := loadFixtures(t, "annot_pos")
+	cfg := DefaultConfig(mod.Path)
+	cfg.ResultPackages = append(cfg.ResultPackages, fixturePath(mod, root, "annot_pos"))
+	stale := false
+	for _, f := range NewSuite(cfg, root).Run(pkgs) {
+		if f.Analyzer == "annotation" && strings.Contains(f.Message, "stale") {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Error("full-suite run should still report the stale annotation")
+	}
+}
+
 // TestDefaultConfigCoversRoadmapPackages guards the config against drift:
 // every result-producing package named in the issue stays enforced.
 func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
@@ -186,5 +290,19 @@ func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
 	if !contains(cfg.NilsafePackages, "wivfi/internal/obs") ||
 		!contains(cfg.NilsafePackages, "wivfi/internal/timeline") {
 		t.Error("NilsafePackages must cover internal/obs and internal/timeline")
+	}
+	if !contains(cfg.PoolTypes, "wivfi/internal/sim.Pool") {
+		t.Error("PoolTypes must cover sim.Pool (the PR 9 deadlock contract)")
+	}
+	if !contains(cfg.HashRoots, "wivfi/internal/expt.Config") {
+		t.Error("HashRoots must cover expt.Config")
+	}
+	if !contains(cfg.KeyFuncs, "wivfi/internal/expt.RequestKey") ||
+		!contains(cfg.KeyFuncs, "wivfi/internal/expt.ConfigHash") {
+		t.Error("KeyFuncs must cover expt.RequestKey and expt.ConfigHash")
+	}
+	if !contains(cfg.RequestStructs, "wivfi/internal/serve.Request") ||
+		!contains(cfg.RequestStructs, "wivfi/internal/sweep.Scenario") {
+		t.Error("RequestStructs must cover serve.Request and sweep.Scenario")
 	}
 }

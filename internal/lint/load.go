@@ -24,6 +24,10 @@ type Package struct {
 	Info       *types.Info
 
 	suppressions *suppressionSet
+	// loader links back to the Loader that produced this package, giving
+	// the flow-sensitive analyzers whole-program reach over every
+	// module-internal dependency the type-checker already parsed.
+	loader *Loader
 }
 
 // Module locates the enclosing Go module.
@@ -175,6 +179,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Types:        tpkg,
 		Info:         info,
 		suppressions: collectSuppressions(l.Fset, files),
+		loader:       l,
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil

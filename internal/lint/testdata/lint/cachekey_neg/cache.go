@@ -1,0 +1,74 @@
+// Package cachekey_neg is the clean mirror of cachekey_pos: every field
+// of the hash root serializes, and every request field reaches the key —
+// directly, through a producer method, or through a (value, error) tuple
+// assignment, which pins the dataflow tracer's multi-assign handling.
+package cachekey_neg
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Config is the fixture's hash root; all state serializes into the hash.
+type Config struct {
+	Cores  int     `json:"cores"`
+	Volt   float64 `json:"volt"`
+	Tuning Tuning  `json:"tuning"`
+}
+
+// Tuning is reachable from Config through a serialized field.
+type Tuning struct {
+	Margin float64 `json:"margin"`
+}
+
+// Request's every field reaches KeyOf: App as a direct salt, Margin
+// through Config(), Lane through the extras() producer.
+type Request struct {
+	App    string
+	Margin *float64
+	Lane   string
+}
+
+// Config validates the request and resolves it against base.
+func (r Request) Config(base Config) (Config, error) {
+	if r.Margin != nil {
+		if *r.Margin < 0 {
+			return Config{}, errors.New("negative margin")
+		}
+		base.Tuning.Margin = *r.Margin
+	}
+	return base, nil
+}
+
+// extras spells the lane into the key salt.
+func (r Request) extras() []string {
+	if r.Lane == "" {
+		return nil
+	}
+	return []string{"lane=" + r.Lane}
+}
+
+// KeyOf is the fixture's configured key constructor.
+func KeyOf(cfg Config, extras ...string) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(append(b, []byte(strings.Join(extras, "|"))...))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// key reaches the key call through a tuple assignment: cfg arrives from
+// a (Config, error) return, which the tracer must follow to Config().
+func key(r Request, base Config) (string, error) {
+	cfg, err := r.Config(base)
+	if err != nil {
+		return "", err
+	}
+	return KeyOf(cfg, append([]string{r.App}, r.extras()...)...), nil
+}
+
+var _, _ = key(Request{}, Config{})

@@ -1,0 +1,71 @@
+// Package cachekey_pos holds the cache-key completeness violations the
+// cachekey analyzer must catch: hash-invisible fields on structs
+// reachable from the hash root (unexported, json:"-", unserializable),
+// and a request-struct field that never reaches the request key — two
+// requests differing only there would share one cached result.
+package cachekey_pos
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Config is the fixture's hash root: its JSON serialization is the cache
+// key's alphabet.
+type Config struct {
+	Cores int     `json:"cores"`
+	Volt  float64 `json:"volt"`
+	// secret never serializes: configs differing only here collide.
+	secret int
+	// Debug is explicitly cut out of the hash.
+	Debug bool `json:"-"`
+	// Probe cannot round-trip through json.Marshal.
+	Probe  func() float64 `json:"probe"`
+	Tuning Tuning         `json:"tuning"`
+}
+
+// Tuning is reachable from Config through a serialized field, so its
+// fields are part of the key alphabet too.
+type Tuning struct {
+	Margin float64 `json:"margin"`
+	// trace is hash-invisible below the root.
+	trace []string
+}
+
+// Request is the request struct whose every field must reach KeyOf.
+type Request struct {
+	// App reaches the key directly as a salt argument.
+	App string
+	// Margin reaches the key through Config().
+	Margin *float64
+	// Priority was added without wiring it into the key: requests
+	// differing only in Priority share a cached result.
+	Priority int
+}
+
+// Config resolves the request's overrides against a base config.
+func (r Request) Config(base Config) Config {
+	if r.Margin != nil {
+		base.Tuning.Margin = *r.Margin
+	}
+	return base
+}
+
+// KeyOf is the fixture's configured key constructor.
+func KeyOf(cfg Config, extras ...string) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(append(b, []byte(strings.Join(extras, "|"))...))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// key routes a request into the cache key.
+func key(r Request, base Config) string {
+	return KeyOf(r.Config(base), r.App)
+}
+
+var _ = key

@@ -1,0 +1,31 @@
+// Package leaksafe_pos holds the goroutine shapes the leaksafe analyzer
+// must flag in result packages: fire-and-forget launches whose work can
+// be dropped or outlive the run, and launches whose body cannot be
+// resolved for auditing.
+package leaksafe_pos
+
+var sink float64
+
+// fireAndForget launches work nobody joins.
+func fireAndForget(xs []float64) {
+	go func() {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		sink = s
+	}()
+}
+
+func tick() { sink++ }
+
+// namedNoJoin launches a package function that has no join path either.
+func namedNoJoin() {
+	go tick()
+}
+
+// unresolvable launches through a function value: the analyzer cannot
+// see the body, so it must flag conservatively.
+func unresolvable(f func()) {
+	go f()
+}

@@ -1,0 +1,86 @@
+// Package locksafe_neg holds the sanctioned locking idioms that must stay
+// clean under locksafe: copy-under-lock-then-block, deferred unlocks
+// covering early returns, explicit unlocks on every branch, read locks,
+// deferred-closure unlocks, and locked calls to methods that do not lock.
+package locksafe_neg
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	val int
+}
+
+// copyThenSend copies state under the lock, releases, then blocks — the
+// discipline the analyzer's message prescribes.
+func copyThenSend(b *box, ch chan int) {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	ch <- v
+}
+
+// deferredUnlock covers every return path, the early one included.
+func deferredUnlock(b *box, fail bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return b.val
+}
+
+// branchUnlock releases explicitly on each branch before returning.
+func branchUnlock(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		b.mu.Unlock()
+		return -1
+	}
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+// read holds only the read lock, released by defer.
+func (g *gauge) read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// write pairs the write lock with an explicit unlock.
+func (g *gauge) write(x float64) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+// closureUnlock registers the unlock inside a deferred closure.
+func closureUnlock(b *box) int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return b.val
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) raw() int { return c.n }
+
+// snapshot calls a method under the lock, but raw never locks, so there
+// is no re-lock hazard.
+func (c *counter) snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raw()
+}

@@ -1,0 +1,56 @@
+// Package seedflow_neg holds the sanctioned seeding idioms that must
+// stay clean under seedflow: seeds that derive from parameters or config
+// fields (traced through locals, arithmetic, conversions, and pure
+// helper calls) and named constants.
+package seedflow_neg
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// defaultSeed is the named, auditable fallback stream identity.
+const defaultSeed = 0x5eed
+
+type config struct {
+	Seed int64
+}
+
+// fromParam: the seed is caller-controlled.
+func fromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// fromConfig: a config field reaches the source through a local.
+func fromConfig(cfg config) *rand.Rand {
+	s := cfg.Seed
+	return rand.New(rand.NewSource(s))
+}
+
+// fromConst: the named constant is auditable.
+func fromConst() *rand.Rand {
+	return rand.New(rand.NewSource(defaultSeed))
+}
+
+// derivedArithmetic: streams split off a base seed stay derived.
+func derivedArithmetic(cfg config, lane int64) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed*31 + lane))
+}
+
+// v2Derived: both PCG words derive from the config seed.
+func v2Derived(cfg config) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)+defaultSeed))
+}
+
+func mix(seed int64, name string) int64 {
+	h := seed
+	for _, c := range name {
+		h = h*131 + int64(c)
+	}
+	return h
+}
+
+// viaHash: seeds may pass through pure functions of derived values.
+func viaHash(cfg config, name string) *rand.Rand {
+	return rand.New(rand.NewSource(mix(cfg.Seed, name)))
+}

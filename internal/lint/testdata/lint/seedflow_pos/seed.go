@@ -1,0 +1,34 @@
+// Package seedflow_pos holds the seed origins the seedflow analyzer must
+// flag in result packages: bare magic literals, mutable package state,
+// and opaque zero-operand calls — all of which make a "deterministic"
+// stream's identity untraceable from config.
+package seedflow_pos
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+var globalSeed int64
+
+// bareLiteral seeds with a magic number nobody can audit from config.
+func bareLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(12345))
+}
+
+// fromGlobal seeds from a mutable package variable.
+func fromGlobal() *rand.Rand {
+	return rand.New(rand.NewSource(globalSeed))
+}
+
+func pid() int64 { return globalSeed + 1 }
+
+// fromOpaqueCall seeds from a call with no traceable operands.
+func fromOpaqueCall() *rand.Rand {
+	return rand.New(rand.NewSource(pid()))
+}
+
+// v2Literals seeds both PCG words with magic numbers.
+func v2Literals() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(7, 9))
+}
